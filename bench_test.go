@@ -1,0 +1,269 @@
+// Benchmarks regenerating every table and figure of the paper (see
+// EXPERIMENTS.md for the recorded results and the paper-vs-measured
+// comparison, and DESIGN.md for the scale substitutions):
+//
+//	Table I   BenchmarkTableI_*        operator application variants
+//	Fig. 1    BenchmarkFig1_*          sinker streamline tracing
+//	Fig. 2    BenchmarkFig2_*          robustness vs viscosity contrast
+//	Table II  BenchmarkTableII_*       SpMV variants, full Stokes solve
+//	Table III BenchmarkTableIII_*      fine-level residual (MG res)
+//	Table IV  BenchmarkTableIV_*       preconditioner configurations
+//	Fig. 3/4  BenchmarkFig4_RiftStep   one rift time step (full pipeline)
+//	          BenchmarkAblation_*      design-choice ablations (DESIGN.md)
+//
+// Run a single family with e.g.
+//
+//	go test -bench 'TableIV' -benchmem .
+package ptatin3d_test
+
+import (
+	"math"
+	"testing"
+
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/mesh"
+	"ptatin3d/internal/mg"
+	"ptatin3d/internal/model"
+	"ptatin3d/internal/stokes"
+	"ptatin3d/internal/thermal"
+)
+
+// benchProblem builds a deformed, variable-viscosity viscous-block
+// problem for the operator benchmarks.
+func benchProblem(m int) *fem.Problem {
+	da := mesh.New(m, m, m, 0, 1, 0, 1, 0, 1)
+	da.Deform(func(x, y, z float64) (float64, float64, float64) {
+		return x + 0.05*math.Sin(math.Pi*y), y + 0.04*math.Sin(math.Pi*z), z + 0.03*x*y
+	})
+	bc := mesh.NewBC(da)
+	bc.FreeSlipBox(da, mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin)
+	p := fem.NewProblem(da, bc)
+	p.SetCoefficientsFunc(func(x, y, z float64) float64 {
+		return math.Exp(2 * math.Sin(3*x) * math.Cos(2*y))
+	}, nil)
+	return p
+}
+
+// opBench times repeated operator applications.
+func opBench(b *testing.B, op interface {
+	N() int
+	Apply(x, y la.Vec)
+}) {
+	u := la.NewVec(op.N())
+	for i := range u {
+		u[i] = math.Sin(float64(i))
+	}
+	y := la.NewVec(op.N())
+	op.Apply(u, y) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Apply(u, y)
+	}
+}
+
+// --- Table I -----------------------------------------------------------
+
+func BenchmarkTableI_Assembled(b *testing.B) { opBench(b, fem.NewAsm(benchProblem(8))) }
+func BenchmarkTableI_MatrixFree(b *testing.B) {
+	opBench(b, fem.NewMF(benchProblem(8)))
+}
+func BenchmarkTableI_Tensor(b *testing.B) { opBench(b, fem.NewTensor(benchProblem(8))) }
+func BenchmarkTableI_TensorC(b *testing.B) {
+	opBench(b, fem.NewTensorC(benchProblem(8)))
+}
+
+// --- sinker-based solves (Figures 1–2, Tables II–IV) --------------------
+
+// sinkerSolveBench runs complete Stokes solves on the §IV-A sinker.
+func sinkerSolveBench(b *testing.B, m int, deta float64, mut func(*stokes.Config)) {
+	o := model.DefaultSinkerOptions()
+	o.M = m
+	o.DeltaEta = deta
+	mdl := model.NewSinker(o)
+	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
+	cfg := mdl.Cfg
+	cfg.Params.MaxIt = 1500
+	cfg.CoeffCoarsen = mdl.CoeffCoarsener()
+	if mut != nil {
+		mut(&cfg)
+	}
+	bu := la.NewVec(mdl.Prob.DA.NVelDOF())
+	fem.MomentumRHS(mdl.Prob, bu)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := stokes.New(mdl.Prob, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := la.NewVec(s.Op.N())
+		b.StartTimer()
+		res := s.Solve(x, bu, nil)
+		if !res.Converged {
+			b.Fatalf("solve failed after %d its", res.Iterations)
+		}
+		b.ReportMetric(float64(res.Iterations), "its")
+	}
+}
+
+func BenchmarkFig2_Contrast1(b *testing.B)     { sinkerSolveBench(b, 8, 1, nil) }
+func BenchmarkFig2_Contrast100(b *testing.B)   { sinkerSolveBench(b, 8, 100, nil) }
+func BenchmarkFig2_Contrast10000(b *testing.B) { sinkerSolveBench(b, 8, 10000, nil) }
+
+func BenchmarkTableII_SolveAsmb(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.FineKind = mg.AssembledSpMV })
+}
+func BenchmarkTableII_SolveMF(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.FineKind = mg.MatrixFreeRef })
+}
+func BenchmarkTableII_SolveTens(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.FineKind = mg.MatrixFreeTensor })
+}
+
+// Table III's "MG res" rows measure the fine-level residual evaluation of
+// each SpMV implementation — operator application on the sinker problem.
+func tableIIIProblem() *fem.Problem {
+	o := model.DefaultSinkerOptions()
+	o.M = 8
+	mdl := model.NewSinker(o)
+	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
+	return mdl.Prob
+}
+
+func BenchmarkTableIII_MGResAsmb(b *testing.B)   { opBench(b, fem.NewAsm(tableIIIProblem())) }
+func BenchmarkTableIII_MGResMF(b *testing.B)     { opBench(b, fem.NewMF(tableIIIProblem())) }
+func BenchmarkTableIII_MGResTensor(b *testing.B) { opBench(b, fem.NewTensor(tableIIIProblem())) }
+
+func BenchmarkTableIV_GMGi(b *testing.B) { sinkerSolveBench(b, 8, 100, nil) }
+func BenchmarkTableIV_GMGii(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) {
+		c.FineKind = mg.AssembledSpMV
+		c.GalerkinAll = true
+	})
+}
+func BenchmarkTableIV_SAi(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) {
+		c.Levels = 1
+		c.FineKind = mg.AssembledSpMV
+		c.AMGConfig = "gamg"
+	})
+}
+func BenchmarkTableIV_SAMLi(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) {
+		c.Levels = 1
+		c.FineKind = mg.AssembledSpMV
+		c.AMGConfig = "ml"
+	})
+}
+func BenchmarkTableIV_SAMLii(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) {
+		c.Levels = 1
+		c.FineKind = mg.AssembledSpMV
+		c.AMGConfig = "mlstrong"
+	})
+}
+
+// --- Figure 1: streamline tracing ---------------------------------------
+
+func BenchmarkFig1_Streamlines(b *testing.B) {
+	o := model.DefaultSinkerOptions()
+	o.M = 6
+	mdl := model.NewSinker(o)
+	mdl.Cfg.Levels = 2
+	if _, err := mdl.SolveStokes(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := mdl.Streamline(0.3, 0.4, 0.8, 0.02, 300)
+		if len(line) < 2 {
+			b.Fatal("streamline too short")
+		}
+	}
+}
+
+// --- Figures 3/4: one rift time step ------------------------------------
+
+func BenchmarkFig4_RiftStep(b *testing.B) {
+	o := model.DefaultRiftOptions()
+	o.Mx, o.My, o.Mz = 16, 4, 8
+	m := model.NewRift(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.StepForward(); err != nil {
+			b.Fatal(err)
+		}
+		st := m.Stats[len(m.Stats)-1]
+		b.ReportMetric(float64(st.NewtonIts), "newton")
+		b.ReportMetric(float64(st.KrylovIts), "krylov")
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ----------
+
+// GCR vs FGMRES as the outer flexible method (§III-A).
+func BenchmarkAblation_OuterGCR(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.OuterMethod = "gcr" })
+}
+func BenchmarkAblation_OuterFGMRES(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.OuterMethod = "fgmres" })
+}
+
+// Chebyshev degree: V(1,1) vs V(2,2) vs V(3,3) (§III-C).
+func BenchmarkAblation_V11(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.SmoothSteps = 1 })
+}
+func BenchmarkAblation_V22(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.SmoothSteps = 2 })
+}
+func BenchmarkAblation_V33(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.SmoothSteps = 3 })
+}
+
+// Coarse-solver choice: GAMG V-cycle vs exact LU vs CG+ASM (§IV-A, §V-A).
+func BenchmarkAblation_CoarseGAMG(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.CoarseSolver = "gamg" })
+}
+func BenchmarkAblation_CoarseLU(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.CoarseSolver = "lu" })
+}
+func BenchmarkAblation_CoarseASMCG(b *testing.B) {
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.CoarseSolver = "asmcg" })
+}
+
+// SUPG on/off for the energy equation (§V).
+func supgBench(b *testing.B, supg bool) {
+	da := mesh.New(8, 8, 8, 0, 1, 0, 1, 0, 1)
+	p := fem.NewProblem(da, nil)
+	s := thermal.New(p, 1e-6)
+	s.SUPG = supg
+	s.SetFaceTemperature(mesh.XMin, 1)
+	s.SetFaceTemperature(mesh.XMax, 0)
+	u := la.NewVec(p.DA.NVelDOF())
+	for n := 0; n < p.DA.NNodes(); n++ {
+		u[3*n] = 1
+	}
+	T := make([]float64, p.DA.NVertices())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(T, u, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ThermalSUPG(b *testing.B)     { supgBench(b, true) }
+func BenchmarkAblation_ThermalGalerkin(b *testing.B) { supgBench(b, false) }
+
+// Worker scaling of the tensor kernel (intra-node story; on a single-CPU
+// host this measures the scheduling overhead floor — see EXPERIMENTS.md).
+func workerBench(b *testing.B, workers int) {
+	p := benchProblem(12)
+	p.Workers = workers
+	opBench(b, fem.NewTensor(p))
+}
+
+func BenchmarkScaling_Workers1(b *testing.B) { workerBench(b, 1) }
+func BenchmarkScaling_Workers2(b *testing.B) { workerBench(b, 2) }
+func BenchmarkScaling_Workers4(b *testing.B) { workerBench(b, 4) }

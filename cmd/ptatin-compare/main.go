@@ -1,0 +1,113 @@
+// Command ptatin-compare regenerates Table IV of the paper: the
+// preconditioner shoot-out between the matrix-free geometric multigrid
+// (GMG-i), the fully assembled Galerkin geometric multigrid (GMG-ii), and
+// three purely algebraic smoothed-aggregation configurations (SA-i:
+// GAMG-like; SAML-i: ML-like with drop tolerance; SAML-ii: ML-like with
+// the stronger FGMRES(2)/ILU(0) smoother). For each configuration it
+// reports Krylov iterations and the wall time spent in SpMV ("MatMult"),
+// preconditioner setup, preconditioner application, and the complete
+// Stokes solve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/mg"
+	"ptatin3d/internal/model"
+	"ptatin3d/internal/stokes"
+)
+
+type config struct {
+	name string
+	mut  func(*stokes.Config)
+}
+
+func main() {
+	m := flag.Int("m", 8, "elements per direction (paper: 64)")
+	deta := flag.Float64("deta", 100, "viscosity contrast")
+	workers := flag.Int("workers", 2, "worker goroutines")
+	flag.Parse()
+
+	configs := []config{
+		{"GMG-i", func(c *stokes.Config) {
+			// Paper's preferred configuration: matrix-free tensor fine
+			// level, rediscretized middle, Galerkin coarsest, GAMG coarse
+			// solve.
+			c.FineKind = mg.MatrixFreeTensor
+			c.CoarseSolver = "gamg"
+		}},
+		{"GMG-ii", func(c *stokes.Config) {
+			// Fully assembled: fine level assembled, all coarse operators
+			// Galerkin.
+			c.FineKind = mg.AssembledSpMV
+			c.GalerkinAll = true
+			c.CoarseSolver = "gamg"
+		}},
+		{"SA-i", func(c *stokes.Config) {
+			c.Levels = 1
+			c.FineKind = mg.AssembledSpMV
+			c.AMGConfig = "gamg"
+		}},
+		{"SAML-i", func(c *stokes.Config) {
+			c.Levels = 1
+			c.FineKind = mg.AssembledSpMV
+			c.AMGConfig = "ml"
+		}},
+		{"SAML-ii", func(c *stokes.Config) {
+			c.Levels = 1
+			c.FineKind = mg.AssembledSpMV
+			c.AMGConfig = "mlstrong"
+		}},
+	}
+
+	fmt.Printf("# Table IV reproduction — %d³ elements, Δη=%g, %d workers\n", *m, *deta, *workers)
+	fmt.Printf("%-8s %5s %12s %12s %12s %12s\n",
+		"config", "its", "MatMult(s)", "PCsetup(s)", "PCapply(s)", "Solve(s)")
+
+	var gmgiTime float64
+	for _, cf := range configs {
+		o := model.DefaultSinkerOptions()
+		o.M = *m
+		o.DeltaEta = *deta
+		o.Workers = *workers
+		mdl := model.NewSinker(o)
+		mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
+
+		cfg := mdl.Cfg
+		cfg.Workers = *workers
+		cfg.Params.MaxIt = 1500
+		cfg.CoeffCoarsen = mdl.CoeffCoarsener()
+		cf.mut(&cfg)
+
+		s, err := stokes.New(mdl.Prob, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", cf.name, err)
+		}
+		bu := la.NewVec(mdl.Prob.DA.NVelDOF())
+		fem.MomentumRHS(mdl.Prob, bu)
+		x := la.NewVec(s.Op.N())
+		start := time.Now()
+		res := s.Solve(x, bu, nil)
+		solve := time.Since(start).Seconds()
+		if !res.Converged {
+			fmt.Printf("%-8s FAILED after %d iterations (rel %.2e)\n", cf.name, res.Iterations, res.Residual/res.Residual0)
+			continue
+		}
+		fmt.Printf("%-8s %5d %12.3f %12.3f %12.3f %12.3f\n",
+			cf.name, res.Iterations,
+			s.MatMult.Elapsed.Seconds(), s.SetupTime.Seconds(),
+			s.PCApply.Elapsed.Seconds(), solve)
+		if cf.name == "GMG-i" {
+			gmgiTime = solve
+		} else if gmgiTime > 0 {
+			fmt.Printf("         (GMG-i is %.1fx faster)\n", solve/gmgiTime)
+		}
+	}
+	fmt.Println("\n# Shape check (paper): GMG-ii lowest iterations; GMG-i fastest")
+	fmt.Println("# time-to-solution (paper: 1.7x vs GMG-ii, 3.3-12.4x vs SA/SAML).")
+}

@@ -1,0 +1,127 @@
+// Command ptatin-scaling regenerates Tables II and III of the paper at
+// laptop scale: iterations, coarse-grid setup/apply time and Stokes
+// time-to-solution for the assembled (Asmb), reference matrix-free (MF)
+// and tensor-product (Tens) fine-level operators, across a grid × worker
+// ("cores") sweep, plus the efficiency metrics elements/core/second and
+// GF/s derived from the analytic flop counts of the performance model.
+//
+// The paper sweeps 64³–192³ elements over 192–12,288 MPI cores on a Cray
+// XC-30; this reproduction sweeps (by default) 8³–16³ elements over 1–4
+// worker goroutines sharing one node — the regime where the paper's
+// memory-bandwidth argument lives (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/mg"
+	"ptatin3d/internal/model"
+	"ptatin3d/internal/perfmodel"
+	"ptatin3d/internal/stokes"
+)
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatalf("bad int list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	grids := flag.String("grids", "8,12,16", "comma-separated grid sizes (elements/direction)")
+	cores := flag.String("cores", "1,2,4", "comma-separated worker counts")
+	deta := flag.Float64("deta", 100, "viscosity contrast")
+	flag.Parse()
+
+	counts := map[string]perfmodel.OpCounts{}
+	for _, c := range perfmodel.ReproCounts() {
+		counts[c.Name] = c
+	}
+	kindName := map[mg.LevelKind]string{
+		mg.AssembledSpMV:    "Asmb",
+		mg.MatrixFreeRef:    "MF",
+		mg.MatrixFreeTensor: "Tens",
+	}
+	countName := map[mg.LevelKind]string{
+		mg.AssembledSpMV:    "Assembled",
+		mg.MatrixFreeRef:    "Matrix-free",
+		mg.MatrixFreeTensor: "Tensor",
+	}
+
+	fmt.Println("# Table II/III reproduction (laptop scale; see DESIGN.md substitutions)")
+	fmt.Printf("%-6s %-6s %-5s %4s %12s %12s %12s | %10s %9s %8s\n",
+		"grid", "cores", "SpMV", "its", "coarse-setup", "coarse-apply", "solve(s)",
+		"E/C/s", "GF/C/s", "GF/s")
+
+	for _, g := range parseInts(*grids) {
+		for _, c := range parseInts(*cores) {
+			for _, kind := range []mg.LevelKind{mg.AssembledSpMV, mg.MatrixFreeRef, mg.MatrixFreeTensor} {
+				runOne(g, c, *deta, kind, kindName[kind], counts[countName[kind]])
+			}
+		}
+	}
+	fmt.Println("\n# Shape check (paper): MF uniformly faster than Asmb; Tens uniformly")
+	fmt.Println("# faster than MF; E/C/s highest for Tens; iterations roughly flat in cores.")
+}
+
+func runOne(g, workers int, deta float64, kind mg.LevelKind, label string, oc perfmodel.OpCounts) {
+	o := model.DefaultSinkerOptions()
+	o.M = g
+	o.DeltaEta = deta
+	o.Workers = workers
+	mdl := model.NewSinker(o)
+	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
+
+	cfg := mdl.Cfg
+	cfg.Workers = workers
+	cfg.FineKind = kind
+	cfg.Params.MaxIt = 1000
+	cfg.CoeffCoarsen = mdl.CoeffCoarsener()
+
+	setupStart := time.Now()
+	s, err := stokes.New(mdl.Prob, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup := time.Since(setupStart)
+
+	bu := la.NewVec(mdl.Prob.DA.NVelDOF())
+	fem.MomentumRHS(mdl.Prob, bu)
+	x := la.NewVec(s.Op.N())
+	solveStart := time.Now()
+	res := s.Solve(x, bu, nil)
+	solve := time.Since(solveStart).Seconds()
+	if !res.Converged {
+		fmt.Printf("%-6d %-6d %-5s FAILED after %d its\n", g, workers, label, res.Iterations)
+		return
+	}
+	var coarseApply time.Duration
+	if s.CoarseApply != nil {
+		coarseApply = s.CoarseApply.Elapsed
+	}
+	nel := float64(g * g * g)
+	ecs := nel / float64(workers) / solve
+	// GF/s attribution: fine-level operator flops × matvec count +
+	// (smoother applications inside MG are counted via the PC attribution
+	// used by the paper: total useful flops of the solve estimated from
+	// the fine-operator count per Krylov iteration × a V(2,2) multiplier).
+	const vcycleOps = 7.0 // 2 pre + 2 post smoother applies + residual + λmax share + matvec
+	gflops := oc.Flops * nel * float64(res.Iterations) * vcycleOps / 1e9
+	gfs := gflops / solve
+	fmt.Printf("%-6d %-6d %-5s %4d %12.3f %12.3f %12.3f | %10.0f %9.3f %8.2f\n",
+		g, workers, label, res.Iterations,
+		setup.Seconds(), coarseApply.Seconds(), solve,
+		ecs, gfs/float64(workers), gfs)
+}

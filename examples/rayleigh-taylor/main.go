@@ -1,0 +1,85 @@
+// Rayleigh–Taylor: build a custom geodynamic model from the library's
+// primitives rather than the canned problem setups — a dense layer over a
+// buoyant layer with a sinusoidal interface perturbation, the classic
+// instability benchmark of the MPM/marker literature the paper builds on.
+// Demonstrates: mesh + boundary conditions, material-point seeding with a
+// custom classifier, a user lithology table, and hand-assembly of the
+// Model driver.
+//
+//	go run ./examples/rayleigh-taylor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"ptatin3d"
+)
+
+func main() {
+	const m = 8
+	da := ptatin3d.NewMesh(m, m, m, 0, 1, 0, 1, 0, 1)
+	bc := ptatin3d.NewBC(da)
+	// Free slip everywhere except the top (free surface).
+	bc.FreeSlipBox(da, ptatin3d.XMin, ptatin3d.XMax, ptatin3d.YMin, ptatin3d.YMax, ptatin3d.ZMin)
+	prob := ptatin3d.NewProblem(da, bc)
+	prob.Workers = 2
+	prob.Gravity = [3]float64{0, 0, -9.8}
+
+	// Dense layer on top of a light layer; perturbed interface at
+	// z = 0.5 + 0.04·cos(2πx).
+	interfaceZ := func(x float64) float64 { return 0.5 + 0.04*math.Cos(2*math.Pi*x) }
+	points := ptatin3d.NewPointLattice(prob, 3, func(x, y, z float64) int32 {
+		if z > interfaceZ(x) {
+			return 1 // dense overburden
+		}
+		return 0 // buoyant substrate
+	})
+
+	lith := ptatin3d.LithologyTable{
+		{Name: "buoyant", Type: ptatin3d.ConstantViscosity, Eta0: 0.01, Rho0: 1.0},
+		{Name: "dense", Type: ptatin3d.ConstantViscosity, Eta0: 1.0, Rho0: 1.3},
+	}
+
+	cfg := ptatin3d.DefaultStokesConfig()
+	cfg.Workers = 2
+	nl := ptatin3d.DefaultNonlinearOptions()
+	nl.EisenstatWalker = false
+	nl.MaxIt = 2
+	nl.RTol = 1e-5
+
+	model := &ptatin3d.Model{
+		Prob: prob, Points: points, Lith: lith,
+		Cfg: cfg, VerticalAxis: 2, FreeSurface: true,
+		CFL: 0.25, Workers: 2, Nonlinear: nl,
+	}
+	model.UpdateCoefficients(make(ptatin3d.Vec, da.NVelDOF()+da.NPresDOF()), false)
+
+	// Track the instability: mean depth of the dense material grows as
+	// the overburden founders.
+	meanDenseZ := func() float64 {
+		var s float64
+		var n int
+		for i := 0; i < points.Len(); i++ {
+			if points.Litho[i] == 1 {
+				s += points.Z[i]
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	fmt.Printf("initial mean dense-layer height: %.4f\n", meanDenseZ())
+	for step := 0; step < 4; step++ {
+		if err := model.StepForward(); err != nil {
+			log.Fatal(err)
+		}
+		st := model.Stats[len(model.Stats)-1]
+		fmt.Printf("step %d: t=%.4f dt=%.4f krylov=%d mean dense z=%.4f\n",
+			st.Step, st.Time, st.Dt, st.KrylovIts, meanDenseZ())
+	}
+	if err := model.WritePointsVTK("rayleigh_taylor_points.vtk"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote rayleigh_taylor_points.vtk")
+}

@@ -1,0 +1,3 @@
+module ptatin3d
+
+go 1.22

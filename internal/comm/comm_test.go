@@ -1,0 +1,162 @@
+package comm
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ptatin3d/internal/mesh"
+)
+
+func TestWorldSendRecv(t *testing.T) {
+	w := NewWorld(4)
+	var sum int64
+	w.Run(func(r *Rank) {
+		next := (r.ID + 1) % 4
+		prev := (r.ID + 3) % 4
+		r.Send(next, r.ID*10)
+		v := r.Recv(prev).(int)
+		atomic.AddInt64(&sum, int64(v))
+	})
+	if sum != 60 {
+		t.Fatalf("ring sum = %d, want 60", sum)
+	}
+}
+
+func TestWorldBarrierOrdering(t *testing.T) {
+	w := NewWorld(8)
+	var before, after int64
+	w.Run(func(r *Rank) {
+		atomic.AddInt64(&before, 1)
+		r.Barrier()
+		if atomic.LoadInt64(&before) != 8 {
+			t.Errorf("rank %d passed barrier before all arrived", r.ID)
+		}
+		atomic.AddInt64(&after, 1)
+		r.Barrier()
+		r.Barrier() // reusable
+	})
+	if after != 8 {
+		t.Fatalf("after = %d", after)
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(r *Rank) {
+		got := r.AllReduceSum(float64(r.ID + 1))
+		if got != 15 {
+			t.Errorf("rank %d: sum = %v, want 15", r.ID, got)
+		}
+		// Second reduction with different values (phase reuse).
+		got = r.AllReduceSum(1)
+		if got != 5 {
+			t.Errorf("rank %d: second sum = %v, want 5", r.ID, got)
+		}
+	})
+}
+
+func TestAllReduceMax(t *testing.T) {
+	w := NewWorld(6)
+	w.Run(func(r *Rank) {
+		got := r.AllReduceMax(float64(r.ID * r.ID))
+		if got != 25 {
+			t.Errorf("rank %d: max = %v, want 25", r.ID, got)
+		}
+	})
+}
+
+func TestExchangeCounts(t *testing.T) {
+	// 1-D chain of 3 ranks exchanging with adjacent ranks.
+	w := NewWorld(3)
+	w.Run(func(r *Rank) {
+		var nbrs []int
+		if r.ID > 0 {
+			nbrs = append(nbrs, r.ID-1)
+		}
+		if r.ID < 2 {
+			nbrs = append(nbrs, r.ID+1)
+		}
+		payload := map[int]interface{}{}
+		for _, n := range nbrs {
+			payload[n] = 100*r.ID + n
+		}
+		got := r.ExchangeCounts(nbrs, payload)
+		for _, n := range nbrs {
+			want := 100*n + r.ID
+			if got[n].(int) != want {
+				t.Errorf("rank %d from %d: got %v want %d", r.ID, n, got[n], want)
+			}
+		}
+	})
+}
+
+func TestDecompPartition(t *testing.T) {
+	da := mesh.New(8, 6, 4, 0, 1, 0, 1, 0, 1)
+	d, err := NewDecomp(da, 2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 12 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	// Every element is owned by exactly one rank, consistent with
+	// LocalElements.
+	owner := make([]int, da.NElements())
+	for i := range owner {
+		owner[i] = -1
+	}
+	for r := 0; r < d.Size(); r++ {
+		for _, e := range d.LocalElements(r) {
+			if owner[e] != -1 {
+				t.Fatalf("element %d owned twice", e)
+			}
+			owner[e] = r
+		}
+	}
+	for e, o := range owner {
+		if o == -1 {
+			t.Fatalf("element %d unowned", e)
+		}
+		if d.RankOfElement(e) != o {
+			t.Fatalf("RankOfElement(%d) = %d, want %d", e, d.RankOfElement(e), o)
+		}
+	}
+}
+
+func TestDecompNeighbors(t *testing.T) {
+	da := mesh.New(4, 4, 4, 0, 1, 0, 1, 0, 1)
+	d, err := NewDecomp(da, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corner of a 2x2x2 rank grid sees all 7 other ranks.
+	nbrs := d.Neighbors(0)
+	if len(nbrs) != 7 {
+		t.Fatalf("corner rank neighbours = %d, want 7", len(nbrs))
+	}
+	// Neighbour relation is symmetric.
+	for r := 0; r < d.Size(); r++ {
+		for _, n := range d.Neighbors(r) {
+			found := false
+			for _, b := range d.Neighbors(n) {
+				if b == r {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric neighbours: %d -> %d", r, n)
+			}
+		}
+	}
+}
+
+func TestDecompErrors(t *testing.T) {
+	da := mesh.New(2, 2, 2, 0, 1, 0, 1, 0, 1)
+	if _, err := NewDecomp(da, 0, 1, 1); err == nil {
+		t.Fatal("expected error for zero parts")
+	}
+	if _, err := NewDecomp(da, 4, 1, 1); err == nil {
+		t.Fatal("expected error for too many parts")
+	}
+}

@@ -1,0 +1,115 @@
+package comm
+
+import (
+	"fmt"
+
+	"ptatin3d/internal/mesh"
+)
+
+// Decomp is a Px×Py×Pz Cartesian decomposition of the element grid among
+// ranks (paper §II-D: "spatially decomposing the structured Q2 finite
+// element mesh ... into structured subdomains"). Material points are
+// owned by the rank whose subdomain contains their element.
+type Decomp struct {
+	DA         *mesh.DA
+	Px, Py, Pz int
+	// xb, yb, zb hold the element-range boundaries per direction:
+	// part i owns [xb[i], xb[i+1]).
+	xb, yb, zb []int
+}
+
+// NewDecomp splits the mesh into px×py×pz subdomains. Element counts per
+// part differ by at most one.
+func NewDecomp(da *mesh.DA, px, py, pz int) (*Decomp, error) {
+	if px < 1 || py < 1 || pz < 1 {
+		return nil, fmt.Errorf("comm: invalid decomposition %dx%dx%d", px, py, pz)
+	}
+	if px > da.Mx || py > da.My || pz > da.Mz {
+		return nil, fmt.Errorf("comm: decomposition %dx%dx%d exceeds element grid %dx%dx%d",
+			px, py, pz, da.Mx, da.My, da.Mz)
+	}
+	split := func(m, p int) []int {
+		b := make([]int, p+1)
+		for i := 0; i <= p; i++ {
+			b[i] = i * m / p
+		}
+		return b
+	}
+	return &Decomp{DA: da, Px: px, Py: py, Pz: pz,
+		xb: split(da.Mx, px), yb: split(da.My, py), zb: split(da.Mz, pz)}, nil
+}
+
+// Size returns the number of ranks.
+func (d *Decomp) Size() int { return d.Px * d.Py * d.Pz }
+
+// RankID maps part coordinates to a rank id.
+func (d *Decomp) RankID(pi, pj, pk int) int { return (pk*d.Py+pj)*d.Px + pi }
+
+// RankIJK inverts RankID.
+func (d *Decomp) RankIJK(r int) (pi, pj, pk int) {
+	pi = r % d.Px
+	pj = (r / d.Px) % d.Py
+	pk = r / (d.Px * d.Py)
+	return
+}
+
+// partOf returns the part index owning element index e along a direction
+// with boundaries b.
+func partOf(b []int, e int) int {
+	for i := 0; i < len(b)-1; i++ {
+		if e < b[i+1] {
+			return i
+		}
+	}
+	return len(b) - 2
+}
+
+// RankOfElement returns the rank owning element e.
+func (d *Decomp) RankOfElement(e int) int {
+	ei, ej, ek := d.DA.ElemIJK(e)
+	return d.RankID(partOf(d.xb, ei), partOf(d.yb, ej), partOf(d.zb, ek))
+}
+
+// ElementRange returns the element index bounds [ilo,ihi)×[jlo,jhi)×
+// [klo,khi) of rank r's subdomain.
+func (d *Decomp) ElementRange(r int) (ilo, ihi, jlo, jhi, klo, khi int) {
+	pi, pj, pk := d.RankIJK(r)
+	return d.xb[pi], d.xb[pi+1], d.yb[pj], d.yb[pj+1], d.zb[pk], d.zb[pk+1]
+}
+
+// LocalElements returns the global element ids owned by rank r.
+func (d *Decomp) LocalElements(r int) []int {
+	ilo, ihi, jlo, jhi, klo, khi := d.ElementRange(r)
+	out := make([]int, 0, (ihi-ilo)*(jhi-jlo)*(khi-klo))
+	for k := klo; k < khi; k++ {
+		for j := jlo; j < jhi; j++ {
+			for i := ilo; i < ihi; i++ {
+				out = append(out, d.DA.ElemID(i, j, k))
+			}
+		}
+	}
+	return out
+}
+
+// Neighbors returns the ranks adjacent to r in the 26-neighbourhood of
+// the Cartesian rank grid (the set a migrating material point can reach
+// in one step, paper §II-D).
+func (d *Decomp) Neighbors(r int) []int {
+	pi, pj, pk := d.RankIJK(r)
+	var out []int
+	for dk := -1; dk <= 1; dk++ {
+		for dj := -1; dj <= 1; dj++ {
+			for di := -1; di <= 1; di++ {
+				if di == 0 && dj == 0 && dk == 0 {
+					continue
+				}
+				ni, nj, nk := pi+di, pj+dj, pk+dk
+				if ni < 0 || ni >= d.Px || nj < 0 || nj >= d.Py || nk < 0 || nk >= d.Pz {
+					continue
+				}
+				out = append(out, d.RankID(ni, nj, nk))
+			}
+		}
+	}
+	return out
+}

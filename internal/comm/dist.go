@@ -1,0 +1,132 @@
+package comm
+
+import (
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/la"
+)
+
+// Rank-distributed operator application (paper §II-D): each rank applies
+// the matrix-free viscous kernel over its own element block, then partial
+// sums on subdomain-boundary nodes are reduced to the node's owner and
+// broadcast back — the halo-exchange pattern of the original MPI code,
+// realized over the simulated rank fabric.
+//
+// Node ownership follows the usual DMDA convention: a node belongs to the
+// rank owning the lowest-indexed element whose support contains it, which
+// is always either this rank or one of its 26 neighbours.
+
+// haloPacket carries partial nodal sums (or owner totals) between ranks.
+type haloPacket struct {
+	Node []int32
+	Val  []float64 // 3 per node
+}
+
+// ownerElem returns the lowest element index whose support contains Q2
+// grid node (i,j,k).
+func ownerElem(d *Decomp, i, j, k int) int {
+	lo := func(idx int) int {
+		if idx%2 == 1 {
+			return (idx - 1) / 2
+		}
+		e := idx/2 - 1
+		if e < 0 {
+			e = 0
+		}
+		return e
+	}
+	return d.DA.ElemID(lo(i), lo(j), lo(k))
+}
+
+// NodeOwner returns the rank owning the given Q2 node.
+func (d *Decomp) NodeOwner(n int) int {
+	i, j, k := d.DA.NodeIJK(n)
+	return d.RankOfElement(ownerElem(d, i, j, k))
+}
+
+// DistributedViscousApply computes y = J_uu·u with rank-distributed
+// element loops: rank r applies the tensor kernel over its elements into
+// the (rank-private, caller-zeroed) buffer y, ships partial sums of
+// non-owned boundary nodes to their owners, receives and accumulates
+// partials for nodes it owns, applies the Dirichlet identity on owned
+// rows, and finally receives owner totals back for its ghost nodes. On
+// return, y is correct at every node touched by rank r's elements (and
+// zero elsewhere).
+//
+// All ranks of the world must call this collectively with the same
+// decomposition and problem.
+func DistributedViscousApply(r *Rank, d *Decomp, prob *fem.Problem, op *fem.TensorOp, u, y la.Vec) {
+	mine := d.LocalElements(r.ID)
+	y.Zero()
+	op.ApplyElements(mine, u, y)
+
+	// Classify the nodes this rank touched.
+	touched := map[int32]bool{}
+	var nodes [27]int32
+	for _, e := range mine {
+		d.DA.ElemNodes(e, &nodes)
+		for _, n := range nodes {
+			touched[n] = true
+		}
+	}
+	nbrs := d.Neighbors(r.ID)
+	// Partial sums for nodes owned elsewhere → packet per owner; also
+	// remember which foreign-owned (ghost) nodes we need totals for.
+	send := map[int]*haloPacket{}
+	for _, n := range nbrs {
+		send[n] = &haloPacket{}
+	}
+	for n := range touched {
+		owner := d.NodeOwner(int(n))
+		if owner == r.ID {
+			continue
+		}
+		pk := send[owner]
+		pk.Node = append(pk.Node, n)
+		pk.Val = append(pk.Val, y[3*n], y[3*n+1], y[3*n+2])
+	}
+	payload := map[int]interface{}{}
+	for _, n := range nbrs {
+		payload[n] = send[n]
+	}
+	recv := r.ExchangeCounts(nbrs, payload)
+	// Accumulate received partials into owned rows.
+	for _, n := range nbrs {
+		pk := recv[n].(*haloPacket)
+		for i, node := range pk.Node {
+			y[3*node] += pk.Val[3*i]
+			y[3*node+1] += pk.Val[3*i+1]
+			y[3*node+2] += pk.Val[3*i+2]
+		}
+	}
+	// Dirichlet identity on owned constrained rows.
+	for n := range touched {
+		if d.NodeOwner(int(n)) != r.ID {
+			continue
+		}
+		for c := 0; c < 3; c++ {
+			if prob.BC.Mask[3*n+int32(c)] {
+				y[3*n+int32(c)] = u[3*n+int32(c)]
+			}
+		}
+	}
+	// Return pass: owners send totals for the nodes each neighbour asked
+	// about (the same node lists, reversed).
+	back := map[int]interface{}{}
+	for _, n := range nbrs {
+		pk := recv[n].(*haloPacket)
+		out := &haloPacket{Node: pk.Node, Val: make([]float64, 0, 3*len(pk.Node))}
+		for _, node := range pk.Node {
+			out.Val = append(out.Val, y[3*node], y[3*node+1], y[3*node+2])
+		}
+		back[n] = out
+	}
+	totals := r.ExchangeCounts(nbrs, back)
+	for _, n := range nbrs {
+		pk := totals[n].(*haloPacket)
+		for i, node := range pk.Node {
+			y[3*node] = pk.Val[3*i]
+			y[3*node+1] = pk.Val[3*i+1]
+			y[3*node+2] = pk.Val[3*i+2]
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package fem
+
+// Tensor-product contraction kernels (paper §III-D): the 81×27 reference
+// derivative matrix D̂ξ factors into 1-D pieces D̂⊗B̂⊗B̂, B̂⊗D̂⊗B̂ and
+// B̂⊗B̂⊗D̂, where B̂ and D̂ are the 3×3 one-dimensional basis evaluation and
+// derivative matrices. Applying these as a sequence of 1-D contractions
+// costs ~3× fewer flops than the dense 81×27 application, and — because no
+// per-element 17 kB gradient matrix is formed — keeps the working set
+// small enough to stay in L1 cache.
+//
+// Fields are stored as flat [81]float64 arrays holding 27 lattice points
+// × 3 interleaved components with the x point index fastest:
+// idx = ((k*3+j)*3+i)*3 + c.
+
+// contract1 contracts one lattice dimension of in with the 3×3 matrix m:
+// out[.., q, ..][c] = Σ_t m[q][t] · in[.., t, ..][c], where the contracted
+// index has the given stride (3 for x, 9 for y, 27 for z, in float units)
+// and the remaining indices × components are enumerated by the caller.
+func contract1(m *[3][3]float64, in, out *[81]float64, stride int, bases *[27]int) {
+	for _, b := range bases {
+		i0 := in[b]
+		i1 := in[b+stride]
+		i2 := in[b+2*stride]
+		out[b] = m[0][0]*i0 + m[0][1]*i1 + m[0][2]*i2
+		out[b+stride] = m[1][0]*i0 + m[1][1]*i1 + m[1][2]*i2
+		out[b+2*stride] = m[2][0]*i0 + m[2][1]*i1 + m[2][2]*i2
+	}
+}
+
+// basesX/Y/Z enumerate the 27 (line, component) base offsets for each
+// contraction direction.
+var basesX, basesY, basesZ [27]int
+
+// B1T and D1T are the transposes of B1 and D1, used for the adjoint
+// (scatter) contractions.
+var B1T, D1T [3][3]float64
+
+func init() {
+	n := 0
+	for k := 0; k < 3; k++ {
+		for j := 0; j < 3; j++ {
+			for c := 0; c < 3; c++ {
+				basesX[n] = (k*3+j)*9 + c // i stride 3
+				n++
+			}
+		}
+	}
+	n = 0
+	for k := 0; k < 3; k++ {
+		for i := 0; i < 3; i++ {
+			for c := 0; c < 3; c++ {
+				basesY[n] = k*27 + i*3 + c // j stride 9
+				n++
+			}
+		}
+	}
+	n = 0
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 3; i++ {
+			for c := 0; c < 3; c++ {
+				basesZ[n] = j*9 + i*3 + c // k stride 27
+				n++
+			}
+		}
+	}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			B1T[a][b] = B1[b][a]
+			D1T[a][b] = D1[b][a]
+		}
+	}
+}
+
+func cX(m *[3][3]float64, in, out *[81]float64) { contract1(m, in, out, 3, &basesX) }
+func cY(m *[3][3]float64, in, out *[81]float64) { contract1(m, in, out, 9, &basesY) }
+func cZ(m *[3][3]float64, in, out *[81]float64) { contract1(m, in, out, 27, &basesZ) }
+
+// tensorGrads computes the three reference-direction gradients of the
+// 3-component nodal field f at the 27 quadrature points:
+// g_d[q*3+a] = ∂f_a/∂ξ_d(ξ_q). Eight 1-D contractions replace the dense
+// 81×27 matrix application.
+func tensorGrads(f, g0, g1, g2 *[81]float64) {
+	var tB, tD, tBB, tDB, tBD [81]float64
+	cX(&B1, f, &tB)
+	cX(&D1, f, &tD)
+	cY(&B1, &tB, &tBB)
+	cY(&B1, &tD, &tDB)
+	cY(&D1, &tB, &tBD)
+	cZ(&B1, &tDB, g0)
+	cZ(&B1, &tBD, g1)
+	cZ(&D1, &tBB, g2)
+}
+
+// tensorScatterAdd accumulates the adjoint of tensorGrads into ye:
+// ye += Σ_d (D̂ξ_d)ᵀ h_d, where h_d are quadrature-point cotangent fields.
+func tensorScatterAdd(h0, h1, h2, ye *[81]float64) {
+	var s0, s1, s2, t0, t12, tmp [81]float64
+	cZ(&B1T, h0, &s0)
+	cZ(&B1T, h1, &s1)
+	cZ(&D1T, h2, &s2)
+	cY(&B1T, &s0, &t0)
+	cY(&D1T, &s1, &t12)
+	cY(&B1T, &s2, &tmp)
+	for i := range t12 {
+		t12[i] += tmp[i]
+	}
+	cX(&D1T, &t0, &tmp)
+	for i := range tmp {
+		ye[i] += tmp[i]
+	}
+	cX(&B1T, &t12, &tmp)
+	for i := range tmp {
+		ye[i] += tmp[i]
+	}
+}

@@ -1,0 +1,373 @@
+package fem
+
+import (
+	"math"
+
+	"ptatin3d/internal/la"
+)
+
+// Operator is the abstract viscous-block operator y = J_uu·u. All four
+// implementations agree to machine precision; they differ only in how
+// the action is computed (Table I of the paper). Dirichlet dofs are
+// eliminated symmetrically: constrained input entries are ignored and
+// constrained output rows return the identity.
+type Operator interface {
+	N() int
+	Apply(u, y la.Vec)
+}
+
+// ResidualOperator additionally applies the operator to an unmasked input
+// (a state vector whose constrained entries carry prescribed boundary
+// values), zeroing constrained output rows. Nonlinear residual evaluation
+// needs this form; it is available from the matrix-free variants only,
+// mirroring pTatin3D where residuals are always evaluated matrix-free.
+type ResidualOperator interface {
+	Operator
+	ApplyFreeRows(u, y la.Vec)
+}
+
+// qpCommon applies the per-quadrature-point stress update shared by the
+// MF and Tensor kernels: given the reference gradient g[a][d]=∂u_a/∂ξ_d,
+// the inverse Jacobian jinv[d][m]=∂ξ_d/∂x_m and the scaled coefficient
+// s = η·w·detJ, it returns h[a][d] = Σ_m jinv[d][m]·S[a][m] with
+// S = s·(∇u + ∇uᵀ) the weighted deviatoric stress 2η·D(u)·w·detJ.
+func qpCommon(g *[9]float64, jinv *[9]float64, s float64, h *[9]float64) {
+	// Physical gradient Gp[a][m] = Σ_d g[a*3+d]·jinv[d*3+m].
+	var gp [9]float64
+	for a := 0; a < 3; a++ {
+		for m := 0; m < 3; m++ {
+			gp[a*3+m] = g[a*3]*jinv[m] + g[a*3+1]*jinv[3+m] + g[a*3+2]*jinv[6+m]
+		}
+	}
+	// S[a][m] = s·(Gp[a][m]+Gp[m][a]).
+	var sm [9]float64
+	for a := 0; a < 3; a++ {
+		for m := 0; m < 3; m++ {
+			sm[a*3+m] = s * (gp[a*3+m] + gp[m*3+a])
+		}
+	}
+	// h[a][d] = Σ_m jinv[d*3+m]·S[a][m].
+	for a := 0; a < 3; a++ {
+		for d := 0; d < 3; d++ {
+			h[a*3+d] = jinv[d*3]*sm[a*3] + jinv[d*3+1]*sm[a*3+1] + jinv[d*3+2]*sm[a*3+2]
+		}
+	}
+}
+
+// applyIdentityRows finishes an operator application: constrained rows of
+// y return u (identity block).
+func applyIdentityRows(p *Problem, u, y la.Vec) {
+	for d, m := range p.BC.Mask {
+		if m {
+			y[d] = u[d]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// MFOp: reference (non-tensor) matrix-free operator.
+// ---------------------------------------------------------------------------
+
+// MFOp applies the viscous block element-by-element using the explicit
+// 81×27 reference derivative tabulation G27 at every quadrature point —
+// the paper's reference matrix-free implementation ("MF" in Tables I–III).
+// No matrix is stored; only coordinates, state and the coefficient stream
+// through memory.
+type MFOp struct {
+	P *Problem
+}
+
+// NewMF returns a reference matrix-free operator for p.
+func NewMF(p *Problem) *MFOp { return &MFOp{P: p} }
+
+// N returns the number of velocity dofs.
+func (op *MFOp) N() int { return op.P.DA.NVelDOF() }
+
+// Apply computes y = J_uu·u with symmetric Dirichlet elimination.
+func (op *MFOp) Apply(u, y la.Vec) { op.apply(u, y, true) }
+
+// ApplyFreeRows computes the free rows of J_uu·u for an unmasked state u.
+func (op *MFOp) ApplyFreeRows(u, y la.Vec) { op.apply(u, y, false) }
+
+func (op *MFOp) apply(u, y la.Vec, masked bool) {
+	p := op.P
+	y.Zero()
+	p.forEachElementColored(func(e int) {
+		var ue, xe, ye [81]float64
+		if masked {
+			p.gatherVec(e, u, &ue)
+		} else {
+			em := p.Emap[27*e : 27*e+27]
+			for n := 0; n < 27; n++ {
+				d := 3 * int(em[n])
+				ue[3*n] = u[d]
+				ue[3*n+1] = u[d+1]
+				ue[3*n+2] = u[d+2]
+			}
+		}
+		p.gatherCoords(e, &xe)
+		eta := p.Eta[NQP*e : NQP*e+NQP]
+		mfElementApply(&ue, &xe, eta, &ye)
+		p.scatterAdd(e, &ye, y)
+	})
+	if masked {
+		applyIdentityRows(p, u, y)
+	}
+}
+
+// mfElementApply is the non-tensor matrix-free element kernel.
+func mfElementApply(ue, xe *[81]float64, eta []float64, ye *[81]float64) {
+	var jinv [9]float64
+	for q := 0; q < NQP; q++ {
+		detJ := jacobianAt(xe, q, &jinv)
+		// Physical basis gradients gn[n][m] and velocity gradient.
+		var gn [27][3]float64
+		gq := &G27[q]
+		for n := 0; n < 27; n++ {
+			g0, g1, g2 := gq[n][0], gq[n][1], gq[n][2]
+			gn[n][0] = g0*jinv[0] + g1*jinv[3] + g2*jinv[6]
+			gn[n][1] = g0*jinv[1] + g1*jinv[4] + g2*jinv[7]
+			gn[n][2] = g0*jinv[2] + g1*jinv[5] + g2*jinv[8]
+		}
+		var gp [9]float64 // Gp[a][m]
+		for n := 0; n < 27; n++ {
+			u0, u1, u2 := ue[3*n], ue[3*n+1], ue[3*n+2]
+			for m := 0; m < 3; m++ {
+				gnm := gn[n][m]
+				gp[m] += u0 * gnm
+				gp[3+m] += u1 * gnm
+				gp[6+m] += u2 * gnm
+			}
+		}
+		s := eta[q] * W3[q] * detJ
+		var sm [9]float64
+		for a := 0; a < 3; a++ {
+			for m := 0; m < 3; m++ {
+				sm[a*3+m] = s * (gp[a*3+m] + gp[m*3+a])
+			}
+		}
+		for n := 0; n < 27; n++ {
+			g0, g1, g2 := gn[n][0], gn[n][1], gn[n][2]
+			ye[3*n] += g0*sm[0] + g1*sm[1] + g2*sm[2]
+			ye[3*n+1] += g0*sm[3] + g1*sm[4] + g2*sm[5]
+			ye[3*n+2] += g0*sm[6] + g1*sm[7] + g2*sm[8]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TensorOp: tensor-product matrix-free operator.
+// ---------------------------------------------------------------------------
+
+// TensorOp applies the viscous block using 1-D tensor contractions for all
+// basis/derivative evaluations ("Tens" in the paper). Metric terms are
+// recomputed from nodal coordinates on the fly; nothing per-element is
+// stored, so the working set per element is ~1 kB and elements stream
+// through cache.
+type TensorOp struct {
+	P *Problem
+}
+
+// NewTensor returns a tensor-product matrix-free operator for p.
+func NewTensor(p *Problem) *TensorOp { return &TensorOp{P: p} }
+
+// N returns the number of velocity dofs.
+func (op *TensorOp) N() int { return op.P.DA.NVelDOF() }
+
+// Apply computes y = J_uu·u with symmetric Dirichlet elimination.
+func (op *TensorOp) Apply(u, y la.Vec) { op.apply(u, y, true) }
+
+// ApplyFreeRows computes the free rows of J_uu·u for an unmasked state u.
+func (op *TensorOp) ApplyFreeRows(u, y la.Vec) { op.apply(u, y, false) }
+
+func (op *TensorOp) apply(u, y la.Vec, masked bool) {
+	p := op.P
+	y.Zero()
+	p.forEachElementColored(func(e int) {
+		var ue, xe, ye [81]float64
+		if masked {
+			p.gatherVec(e, u, &ue)
+		} else {
+			em := p.Emap[27*e : 27*e+27]
+			for n := 0; n < 27; n++ {
+				d := 3 * int(em[n])
+				ue[3*n] = u[d]
+				ue[3*n+1] = u[d+1]
+				ue[3*n+2] = u[d+2]
+			}
+		}
+		p.gatherCoords(e, &xe)
+		eta := p.Eta[NQP*e : NQP*e+NQP]
+		tensorElementApply(&ue, &xe, eta, &ye)
+		p.scatterAdd(e, &ye, y)
+	})
+	if masked {
+		applyIdentityRows(p, u, y)
+	}
+}
+
+// tensorElementApply is the tensor-product element kernel (Eq. 19 of the
+// paper): gradients of state and coordinates by 1-D contractions, the
+// metric terms folded into the quadrature loop, and the adjoint
+// contractions scattering the result.
+func tensorElementApply(ue, xe *[81]float64, eta []float64, ye *[81]float64) {
+	var ug0, ug1, ug2, xg0, xg1, xg2 [81]float64
+	tensorGrads(ue, &ug0, &ug1, &ug2)
+	tensorGrads(xe, &xg0, &xg1, &xg2)
+	var h0, h1, h2 [81]float64
+	var jmat, jinv, inv, g, h [9]float64
+	for q := 0; q < NQP; q++ {
+		// jmat[d][m] = ∂x_m/∂ξ_d from the coordinate gradients.
+		for m := 0; m < 3; m++ {
+			jmat[m] = xg0[q*3+m]
+			jmat[3+m] = xg1[q*3+m]
+			jmat[6+m] = xg2[q*3+m]
+		}
+		detJ := la.Invert3(&jmat, &inv)
+		// jinv[d][m] = ∂ξ_d/∂x_m = inv[m][d].
+		jinv[0], jinv[1], jinv[2] = inv[0], inv[3], inv[6]
+		jinv[3], jinv[4], jinv[5] = inv[1], inv[4], inv[7]
+		jinv[6], jinv[7], jinv[8] = inv[2], inv[5], inv[8]
+		// g[a][d] = ∂u_a/∂ξ_d.
+		for a := 0; a < 3; a++ {
+			g[a*3] = ug0[q*3+a]
+			g[a*3+1] = ug1[q*3+a]
+			g[a*3+2] = ug2[q*3+a]
+		}
+		qpCommon(&g, &jinv, eta[q]*W3[q]*detJ, &h)
+		for a := 0; a < 3; a++ {
+			h0[q*3+a] = h[a*3]
+			h1[q*3+a] = h[a*3+1]
+			h2[q*3+a] = h[a*3+2]
+		}
+	}
+	tensorScatterAdd(&h0, &h1, &h2, ye)
+}
+
+// ---------------------------------------------------------------------------
+// TensorCOp: tensor-product operator with stored coefficient tensor.
+// ---------------------------------------------------------------------------
+
+// TensorCOp is the "Tensor C" variant of Table I: the combined
+// metric+coefficient tensor (∇ξ)ᵀ(ωη)(∇ξ) is precomputed and stored at
+// every quadrature point, removing the Jacobian inversion from the apply
+// at the cost of streaming 15 floats per quadrature point. The paper
+// stores 21 rank-4 entries; we store the equivalent isotropic
+// factorization sM (6 entries of the scaled metric Gram matrix) plus
+// √s·K (9 entries of the scaled inverse Jacobian), which reproduces the
+// same action (see DESIGN.md substitution table).
+type TensorCOp struct {
+	P *Problem
+	// coef stores, per element and quadrature point, 15 floats:
+	// [0..5]  sM in packed symmetric order (00,01,02,11,12,22)
+	// [6..14] √s·jinv row-major, with s = η·w·detJ.
+	coef []float64
+}
+
+// NewTensorC builds the stored-coefficient tensor operator; Setup must be
+// called again whenever the mesh geometry or viscosity changes.
+func NewTensorC(p *Problem) *TensorCOp {
+	op := &TensorCOp{P: p}
+	op.Setup()
+	return op
+}
+
+// Setup (re)computes the stored per-quadrature-point tensors.
+func (op *TensorCOp) Setup() {
+	p := op.P
+	nel := p.DA.NElements()
+	if len(op.coef) != 15*NQP*nel {
+		op.coef = make([]float64, 15*NQP*nel)
+	}
+	p.forEachElement(func(e int) {
+		var xe [81]float64
+		p.gatherCoords(e, &xe)
+		var jinv [9]float64
+		for q := 0; q < NQP; q++ {
+			detJ := jacobianAt(&xe, q, &jinv)
+			s := p.Eta[NQP*e+q] * W3[q] * detJ
+			c := op.coef[15*(NQP*e+q) : 15*(NQP*e+q)+15]
+			// Packed scaled metric sM[d][e] = s·Σ_m K[d][m]K[e][m].
+			idx := 0
+			for d := 0; d < 3; d++ {
+				for dd := d; dd < 3; dd++ {
+					c[idx] = s * (jinv[d*3]*jinv[dd*3] + jinv[d*3+1]*jinv[dd*3+1] + jinv[d*3+2]*jinv[dd*3+2])
+					idx++
+				}
+			}
+			sq := math.Sqrt(s)
+			for i := 0; i < 9; i++ {
+				c[6+i] = sq * jinv[i]
+			}
+		}
+	})
+}
+
+// N returns the number of velocity dofs.
+func (op *TensorCOp) N() int { return op.P.DA.NVelDOF() }
+
+// Apply computes y = J_uu·u with symmetric Dirichlet elimination.
+func (op *TensorCOp) Apply(u, y la.Vec) {
+	p := op.P
+	y.Zero()
+	p.forEachElementColored(func(e int) {
+		var ue, ye [81]float64
+		p.gatherVec(e, u, &ue)
+		var ug0, ug1, ug2, h0, h1, h2 [81]float64
+		tensorGrads(&ue, &ug0, &ug1, &ug2)
+		for q := 0; q < NQP; q++ {
+			c := op.coef[15*(NQP*e+q) : 15*(NQP*e+q)+15]
+			sm00, sm01, sm02, sm11, sm12, sm22 := c[0], c[1], c[2], c[3], c[4], c[5]
+			ks := c[6:15]
+			var g [9]float64 // g[a][d]
+			for a := 0; a < 3; a++ {
+				g[a*3] = ug0[q*3+a]
+				g[a*3+1] = ug1[q*3+a]
+				g[a*3+2] = ug2[q*3+a]
+			}
+			// h[a][d] = Σ_e sM[d][e]·g[a][e] + Σ_m Ks[d][m]·tt[m],
+			// tt[m] = Σ_e g[m][e]·Ks[e][a]  (a-dependent).
+			var h [9]float64
+			for a := 0; a < 3; a++ {
+				ga0, ga1, ga2 := g[a*3], g[a*3+1], g[a*3+2]
+				h[a*3] = sm00*ga0 + sm01*ga1 + sm02*ga2
+				h[a*3+1] = sm01*ga0 + sm11*ga1 + sm12*ga2
+				h[a*3+2] = sm02*ga0 + sm12*ga1 + sm22*ga2
+				var tt [3]float64
+				for m := 0; m < 3; m++ {
+					tt[m] = g[m*3]*ks[a] + g[m*3+1]*ks[3+a] + g[m*3+2]*ks[6+a]
+				}
+				for d := 0; d < 3; d++ {
+					h[a*3+d] += ks[d*3]*tt[0] + ks[d*3+1]*tt[1] + ks[d*3+2]*tt[2]
+				}
+			}
+			for a := 0; a < 3; a++ {
+				h0[q*3+a] = h[a*3]
+				h1[q*3+a] = h[a*3+1]
+				h2[q*3+a] = h[a*3+2]
+			}
+		}
+		tensorScatterAdd(&h0, &h1, &h2, &ye)
+		p.scatterAdd(e, &ye, y)
+	})
+	applyIdentityRows(p, u, y)
+}
+
+// ApplyElements accumulates the viscous-block action of the given element
+// subset into y (which the caller must zero): the building block of
+// rank-distributed operator application, where each simulated rank owns a
+// contiguous element block and halo sums are exchanged explicitly
+// (internal/comm). No Dirichlet identity rows are added — partial sums
+// from different ranks must remain addable; the distributed driver
+// applies the identity after the halo reduction.
+func (op *TensorOp) ApplyElements(elems []int, u, y la.Vec) {
+	p := op.P
+	for _, e := range elems {
+		var ue, xe, ye [81]float64
+		p.gatherVec(e, u, &ue)
+		p.gatherCoords(e, &xe)
+		eta := p.Eta[NQP*e : NQP*e+NQP]
+		tensorElementApply(&ue, &xe, eta, &ye)
+		p.scatterAdd(e, &ye, y)
+	}
+}

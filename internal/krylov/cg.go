@@ -1,0 +1,95 @@
+package krylov
+
+import "ptatin3d/internal/la"
+
+// CG solves A·x = b by the preconditioned conjugate gradient method for
+// SPD A and SPD M. x holds the initial guess on entry and the solution on
+// exit. It is used for the viscous block inside Schur complement reduction
+// and as the inexact coarse-grid solver of the rifting configuration
+// (paper §V-A: CG preconditioned with ASM).
+func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
+	n := a.N()
+	r := la.NewVec(n)
+	z := la.NewVec(n)
+	p := la.NewVec(n)
+	ap := la.NewVec(n)
+
+	a.Apply(x, r)
+	r.AYPX(-1, b) // r = b - A·x
+	res := Result{Residual0: r.Norm2()}
+	rn := res.Residual0
+	res.record(prm, rn)
+	if converged(prm, rn, res.Residual0) {
+		res.Converged = true
+		res.Residual = rn
+		return res
+	}
+	m.Apply(r, z)
+	p.Copy(z)
+	rz := r.Dot(z)
+	for it := 1; it <= prm.MaxIt; it++ {
+		a.Apply(p, ap)
+		den := p.Dot(ap)
+		if den == 0 || rz == 0 {
+			res.Breakdown = true
+			break
+		}
+		alpha := rz / den
+		x.AXPY(alpha, p)
+		r.AXPY(-alpha, ap)
+		rn = r.Norm2()
+		res.Iterations = it
+		res.record(prm, rn)
+		if r.HasNaN() {
+			res.Breakdown = true
+			break
+		}
+		if converged(prm, rn, res.Residual0) {
+			res.Converged = true
+			break
+		}
+		m.Apply(r, z)
+		rzNew := r.Dot(z)
+		beta := rzNew / rz
+		rz = rzNew
+		p.AYPX(beta, z)
+	}
+	res.Residual = rn
+	return res
+}
+
+// Richardson performs prm.MaxIt damped Richardson iterations
+// x ← x + ω·M⁻¹(b - A·x). With ω=1 and M a multigrid cycle this is the
+// classical "apply n V-cycles" solver.
+func Richardson(a Op, m Preconditioner, b, x la.Vec, omega float64, prm Params) Result {
+	n := a.N()
+	r := la.NewVec(n)
+	z := la.NewVec(n)
+	a.Apply(x, r)
+	r.AYPX(-1, b)
+	res := Result{Residual0: r.Norm2()}
+	rn := res.Residual0
+	res.record(prm, rn)
+	for it := 1; it <= prm.MaxIt; it++ {
+		if converged(prm, rn, res.Residual0) {
+			res.Converged = true
+			break
+		}
+		m.Apply(r, z)
+		x.AXPY(omega, z)
+		a.Apply(x, r)
+		r.AYPX(-1, b)
+		rn = r.Norm2()
+		res.Iterations = it
+		res.record(prm, rn)
+		if r.HasNaN() {
+			res.Breakdown = true
+			break
+		}
+	}
+	if converged(prm, rn, res.Residual0) {
+		res.Converged = true
+	}
+	res.Residual = rn
+	return res
+}

@@ -1,0 +1,163 @@
+package krylov
+
+import (
+	"math"
+
+	"ptatin3d/internal/la"
+)
+
+// gmresCore implements restarted right-preconditioned GMRES. With
+// flexible=true it is FGMRES (Saad): the preconditioned directions
+// Z_j = M⁻¹·v_j are stored so the preconditioner may change between
+// iterations (paper §III-A: required when the preconditioner contains
+// inner iterations). With flexible=false the update is reconstructed as
+// M⁻¹(V·y), which assumes a fixed linear M.
+func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) Result {
+	n := a.N()
+	mr := prm.restart()
+
+	r := la.NewVec(n)
+	w := la.NewVec(n)
+	a.Apply(x, r)
+	r.AYPX(-1, b)
+	res := Result{Residual0: r.Norm2()}
+	rn := res.Residual0
+	res.record(prm, rn)
+	if converged(prm, rn, res.Residual0) || rn == 0 {
+		res.Converged = true
+		res.Residual = rn
+		return res
+	}
+
+	v := make([]la.Vec, mr+1)
+	for i := range v {
+		v[i] = la.NewVec(n)
+	}
+	var z []la.Vec
+	if flexible {
+		z = make([]la.Vec, mr)
+		for i := range z {
+			z[i] = la.NewVec(n)
+		}
+	}
+	h := make([]float64, (mr+1)*mr) // Hessenberg, h[i*mr+j]
+	cs := make([]float64, mr)
+	sn := make([]float64, mr)
+	g := make([]float64, mr+1)
+	zt := la.NewVec(n)
+
+	it := 0
+	for it < prm.MaxIt {
+		// Start/restart the Arnoldi process from the current residual.
+		a.Apply(x, r)
+		r.AYPX(-1, b)
+		beta := r.Norm2()
+		if converged(prm, beta, res.Residual0) {
+			res.Converged = true
+			rn = beta
+			break
+		}
+		v[0].Copy(r)
+		v[0].Scale(1 / beta)
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		j := 0
+		for ; j < mr && it < prm.MaxIt; j++ {
+			it++
+			if flexible {
+				m.Apply(v[j], z[j])
+				a.Apply(z[j], w)
+			} else {
+				m.Apply(v[j], zt)
+				a.Apply(zt, w)
+			}
+			// Modified Gram–Schmidt.
+			for i := 0; i <= j; i++ {
+				hij := w.Dot(v[i])
+				h[i*mr+j] = hij
+				w.AXPY(-hij, v[i])
+			}
+			hj1 := w.Norm2()
+			h[(j+1)*mr+j] = hj1
+			if hj1 != 0 {
+				v[j+1].Copy(w)
+				v[j+1].Scale(1 / hj1)
+			}
+			// Apply accumulated Givens rotations to the new column.
+			for i := 0; i < j; i++ {
+				t := cs[i]*h[i*mr+j] + sn[i]*h[(i+1)*mr+j]
+				h[(i+1)*mr+j] = -sn[i]*h[i*mr+j] + cs[i]*h[(i+1)*mr+j]
+				h[i*mr+j] = t
+			}
+			// New rotation to annihilate h[j+1][j].
+			den := math.Hypot(h[j*mr+j], hj1)
+			if den == 0 {
+				res.Breakdown = true
+				j++
+				break
+			}
+			cs[j] = h[j*mr+j] / den
+			sn[j] = hj1 / den
+			h[j*mr+j] = den
+			g[j+1] = -sn[j] * g[j]
+			g[j] = cs[j] * g[j]
+			rn = math.Abs(g[j+1])
+			res.Iterations = it
+			res.record(prm, rn)
+			if math.IsNaN(rn) {
+				res.Breakdown = true
+				j++
+				break
+			}
+			if converged(prm, rn, res.Residual0) {
+				j++
+				res.Converged = true
+				break
+			}
+		}
+		// Solve the j×j triangular system and update x.
+		y := make([]float64, j)
+		for i := j - 1; i >= 0; i-- {
+			s := g[i]
+			for k := i + 1; k < j; k++ {
+				s -= h[i*mr+k] * y[k]
+			}
+			y[i] = s / h[i*mr+i]
+		}
+		if flexible {
+			for i := 0; i < j; i++ {
+				x.AXPY(y[i], z[i])
+			}
+		} else {
+			zt.Zero()
+			for i := 0; i < j; i++ {
+				zt.AXPY(y[i], v[i])
+			}
+			u := la.NewVec(n)
+			m.Apply(zt, u)
+			x.AXPY(1, u)
+		}
+		if res.Converged || res.Breakdown {
+			break
+		}
+	}
+	res.Residual = rn
+	return res
+}
+
+// GMRES solves A·x = b by restarted right-preconditioned GMRES(m). The
+// preconditioner must be a fixed linear operator; for nonlinear
+// preconditioners use FGMRES or GCR.
+func GMRES(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
+	return gmresCore(a, m, b, x, prm, false)
+}
+
+// FGMRES solves A·x = b by flexible restarted GMRES(m), tolerating a
+// preconditioner that changes between iterations (paper §III-A). Preferred
+// for extremely ill-conditioned problems for its numerical stability.
+func FGMRES(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
+	return gmresCore(a, m, b, x, prm, true)
+}

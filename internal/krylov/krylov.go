@@ -1,0 +1,102 @@
+// Package krylov provides the iterative solvers and preconditioner
+// building blocks of the ptatin3d solver stack (paper §III-A): CG, GMRES,
+// flexible GMRES, GCR, Chebyshev iteration, Richardson, plus Jacobi,
+// block-Jacobi(+LU), ILU(0) and overlapping additive Schwarz
+// preconditioners, and nested (inner Krylov) preconditioning.
+//
+// Flexible methods (FGMRES, GCR) tolerate nonlinear preconditioners —
+// required because several solver configurations in the paper use inner
+// iterations (multigrid cycles with Krylov-based coarse solves) inside the
+// outer preconditioner.
+package krylov
+
+import "ptatin3d/internal/la"
+
+// Op is the abstract linear operator y = A·x. fem's operator variants and
+// the coupled Stokes operator satisfy it.
+type Op interface {
+	N() int
+	Apply(x, y la.Vec)
+}
+
+// CSROp adapts a CSR matrix to Op.
+type CSROp struct{ A *la.CSR }
+
+// N returns the row dimension.
+func (o CSROp) N() int { return o.A.NRows }
+
+// Apply computes y = A·x.
+func (o CSROp) Apply(x, y la.Vec) { o.A.MulVec(x, y) }
+
+// OpFunc adapts a function to Op.
+type OpFunc struct {
+	Dim int
+	F   func(x, y la.Vec)
+}
+
+// N returns the dimension.
+func (o OpFunc) N() int { return o.Dim }
+
+// Apply invokes the wrapped function.
+func (o OpFunc) Apply(x, y la.Vec) { o.F(x, y) }
+
+// Preconditioner applies z = M⁻¹·r. Implementations may be nonlinear
+// (inner iterations); pair those with flexible outer methods.
+type Preconditioner interface {
+	Apply(r, z la.Vec)
+}
+
+// PCFunc adapts a function to Preconditioner.
+type PCFunc func(r, z la.Vec)
+
+// Apply invokes the wrapped function.
+func (f PCFunc) Apply(r, z la.Vec) { f(r, z) }
+
+// Identity is the no-op preconditioner.
+type Identity struct{}
+
+// Apply copies r into z.
+func (Identity) Apply(r, z la.Vec) { z.Copy(r) }
+
+// Params controls an iterative solve.
+type Params struct {
+	RTol    float64 // relative residual tolerance (unpreconditioned)
+	ATol    float64 // absolute residual tolerance
+	MaxIt   int     // maximum iterations
+	Restart int     // restart length for GMRES/FGMRES/GCR (0 = 30)
+	History bool    // record per-iteration residual norms
+}
+
+// DefaultParams returns the package defaults: rtol 1e-5 (the paper's
+// Stokes stopping tolerance), atol 1e-50, 10000 iterations, restart 30.
+func DefaultParams() Params {
+	return Params{RTol: 1e-5, ATol: 1e-50, MaxIt: 10000, Restart: 30}
+}
+
+func (p Params) restart() int {
+	if p.Restart <= 0 {
+		return 30
+	}
+	return p.Restart
+}
+
+// Result reports the outcome of an iterative solve.
+type Result struct {
+	Converged  bool
+	Iterations int
+	Residual   float64   // final unpreconditioned residual norm
+	Residual0  float64   // initial residual norm
+	History    []float64 // per-iteration residual norms if requested
+	Breakdown  bool      // NaN/Inf or zero denominators encountered
+}
+
+func (r *Result) record(p Params, rn float64) {
+	if p.History {
+		r.History = append(r.History, rn)
+	}
+}
+
+// converged implements the combined rtol/atol test.
+func converged(p Params, rn, r0 float64) bool {
+	return rn <= p.ATol || rn <= p.RTol*r0
+}

@@ -1,0 +1,87 @@
+package mesh
+
+import "fmt"
+
+// UpdateFreeSurface performs the ALE mesh update of paper §V: nodes on the
+// maximum face of the given vertical axis (0=x, 1=y, 2=z) are advected
+// with the vertical component of the nodal velocity field, and the
+// interior nodes of each vertical grid column are redistributed linearly
+// between the (fixed) bottom node and the new surface node. vel is the
+// velocity vector with 3 dofs per node; dt is the time step.
+//
+// This column-wise remeshing keeps the IJK topology intact while letting
+// the mesh follow a deforming free surface (topography), matching the
+// boundary-fitted strategy the paper adopts for the Q2 mesh.
+func UpdateFreeSurface(da *DA, vel []float64, dt float64, axis int) {
+	if len(vel) != da.NVelDOF() {
+		panic(fmt.Sprintf("mesh: UpdateFreeSurface velocity length %d, want %d", len(vel), da.NVelDOF()))
+	}
+	if axis < 0 || axis > 2 {
+		panic("mesh: UpdateFreeSurface axis must be 0, 1 or 2")
+	}
+	var n1, n2, nv int // column counts for the two lateral axes and the vertical
+	switch axis {
+	case 0:
+		nv, n1, n2 = da.NPx, da.NPy, da.NPz
+	case 1:
+		nv, n1, n2 = da.NPy, da.NPx, da.NPz
+	case 2:
+		nv, n1, n2 = da.NPz, da.NPx, da.NPy
+	}
+	nodeAt := func(a, b, v int) int {
+		switch axis {
+		case 0:
+			return da.NodeID(v, a, b)
+		case 1:
+			return da.NodeID(a, v, b)
+		default:
+			return da.NodeID(a, b, v)
+		}
+	}
+	for b := 0; b < n2; b++ {
+		for a := 0; a < n1; a++ {
+			top := nodeAt(a, b, nv-1)
+			bot := nodeAt(a, b, 0)
+			ytop := da.Coords[3*top+axis] + dt*vel[3*top+axis]
+			ybot := da.Coords[3*bot+axis]
+			// Redistribute the column linearly between ybot and the advected
+			// surface; the bottom stays fixed.
+			for v := 1; v < nv; v++ {
+				n := nodeAt(a, b, v)
+				frac := float64(v) / float64(nv-1)
+				da.Coords[3*n+axis] = ybot + frac*(ytop-ybot)
+			}
+		}
+	}
+}
+
+// SurfaceRange returns the minimum and maximum coordinate of the top
+// surface (max face of axis). Used to report topography in the rifting
+// model and to validate the ALE update in tests.
+func SurfaceRange(da *DA, axis int) (min, max float64) {
+	var face Face
+	switch axis {
+	case 0:
+		face = XMax
+	case 1:
+		face = YMax
+	default:
+		face = ZMax
+	}
+	first := true
+	da.ForEachFaceNode(face, func(n, i, j, k int) {
+		c := da.Coords[3*n+axis]
+		if first {
+			min, max = c, c
+			first = false
+			return
+		}
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	})
+	return
+}

@@ -1,0 +1,98 @@
+package mesh
+
+import "fmt"
+
+// CanCoarsen reports whether the mesh admits one level of 2× geometric
+// coarsening (all element counts even).
+func (da *DA) CanCoarsen() bool {
+	return da.Mx%2 == 0 && da.My%2 == 0 && da.Mz%2 == 0 &&
+		da.Mx >= 2 && da.My >= 2 && da.Mz >= 2
+}
+
+// Coarsen returns the next-coarser mesh of the nodally nested hierarchy
+// (paper §III-C): element counts halve and the coarse nodal coordinates
+// are defined by injection from the fine mesh — coarse node (i,j,k)
+// coincides with fine node (2i,2j,2k).
+func (da *DA) Coarsen() *DA {
+	if !da.CanCoarsen() {
+		panic(fmt.Sprintf("mesh: cannot coarsen %dx%dx%d", da.Mx, da.My, da.Mz))
+	}
+	c := &DA{
+		Mx: da.Mx / 2, My: da.My / 2, Mz: da.Mz / 2,
+		NPx: da.Mx + 1, NPy: da.My + 1, NPz: da.Mz + 1,
+	}
+	c.Coords = make([]float64, 3*c.NNodes())
+	for k := 0; k < c.NPz; k++ {
+		for j := 0; j < c.NPy; j++ {
+			for i := 0; i < c.NPx; i++ {
+				cn := c.NodeID(i, j, k)
+				fn := da.NodeID(2*i, 2*j, 2*k)
+				c.Coords[3*cn] = da.Coords[3*fn]
+				c.Coords[3*cn+1] = da.Coords[3*fn+1]
+				c.Coords[3*cn+2] = da.Coords[3*fn+2]
+			}
+		}
+	}
+	return c
+}
+
+// Hierarchy builds a nested hierarchy of nlevels meshes, finest first.
+// It panics if the mesh cannot be coarsened nlevels-1 times.
+func Hierarchy(fine *DA, nlevels int) []*DA {
+	h := make([]*DA, nlevels)
+	h[0] = fine
+	for l := 1; l < nlevels; l++ {
+		h[l] = h[l-1].Coarsen()
+	}
+	return h
+}
+
+// MaxLevels returns the deepest hierarchy the mesh supports (including the
+// fine level itself), coarsening by 2 while all directions stay even.
+func (da *DA) MaxLevels() int {
+	n := 1
+	mx, my, mz := da.Mx, da.My, da.Mz
+	for mx%2 == 0 && my%2 == 0 && mz%2 == 0 && mx >= 2 && my >= 2 && mz >= 2 {
+		mx, my, mz = mx/2, my/2, mz/2
+		n++
+	}
+	return n
+}
+
+// InjectNodalScalar restricts a nodal scalar field from the fine mesh to
+// the coarse mesh by injection (the same rule used for coordinates). It is
+// used to carry projected material-point fields (viscosity, density) down
+// the rediscretized multigrid hierarchy.
+func InjectNodalScalar(fine, coarse *DA, ffield, cfield []float64) {
+	if len(ffield) != fine.NNodes() || len(cfield) != coarse.NNodes() {
+		panic("mesh: InjectNodalScalar length mismatch")
+	}
+	for k := 0; k < coarse.NPz; k++ {
+		for j := 0; j < coarse.NPy; j++ {
+			for i := 0; i < coarse.NPx; i++ {
+				cfield[coarse.NodeID(i, j, k)] = ffield[fine.NodeID(2*i, 2*j, 2*k)]
+			}
+		}
+	}
+}
+
+// CoarsenBC derives the coarse-level Dirichlet mask from a fine-level one:
+// a coarse node inherits the constraint of the coincident fine node. For
+// the box-face constraints used in this package the result is identical to
+// re-deriving the constraints on the coarse mesh.
+func CoarsenBC(fine, coarse *DA, fbc *BC) *BC {
+	cbc := NewBC(coarse)
+	for k := 0; k < coarse.NPz; k++ {
+		for j := 0; j < coarse.NPy; j++ {
+			for i := 0; i < coarse.NPx; i++ {
+				cn := coarse.NodeID(i, j, k)
+				fn := fine.NodeID(2*i, 2*j, 2*k)
+				for c := 0; c < 3; c++ {
+					cbc.Mask[3*cn+c] = fbc.Mask[3*fn+c]
+					cbc.Val[3*cn+c] = fbc.Val[3*fn+c]
+				}
+			}
+		}
+	}
+	return cbc
+}

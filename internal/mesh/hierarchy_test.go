@@ -1,0 +1,164 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoarsenNesting(t *testing.T) {
+	fine := New(4, 4, 4, 0, 1, 0, 2, 0, 3)
+	if !fine.CanCoarsen() {
+		t.Fatal("4^3 mesh must be coarsenable")
+	}
+	coarse := fine.Coarsen()
+	if coarse.Mx != 2 || coarse.My != 2 || coarse.Mz != 2 {
+		t.Fatalf("coarse elements %dx%dx%d", coarse.Mx, coarse.My, coarse.Mz)
+	}
+	// Every coarse node coincides with fine node (2i,2j,2k).
+	for k := 0; k < coarse.NPz; k++ {
+		for j := 0; j < coarse.NPy; j++ {
+			for i := 0; i < coarse.NPx; i++ {
+				cn := coarse.NodeID(i, j, k)
+				fn := fine.NodeID(2*i, 2*j, 2*k)
+				for c := 0; c < 3; c++ {
+					if coarse.Coords[3*cn+c] != fine.Coords[3*fn+c] {
+						t.Fatalf("coarse node (%d,%d,%d) coord %d mismatch", i, j, k, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCoarsenDeformedMeshStaysNested(t *testing.T) {
+	fine := New(4, 4, 4, 0, 1, 0, 1, 0, 1)
+	fine.Deform(func(x, y, z float64) (float64, float64, float64) {
+		return x + 0.05*math.Sin(3*y), y + 0.05*x*z, z
+	})
+	coarse := fine.Coarsen()
+	cn := coarse.NodeID(1, 2, 1)
+	fn := fine.NodeID(2, 4, 2)
+	for c := 0; c < 3; c++ {
+		if coarse.Coords[3*cn+c] != fine.Coords[3*fn+c] {
+			t.Fatal("deformed coarsening not injective")
+		}
+	}
+}
+
+func TestCoarsenOddPanics(t *testing.T) {
+	da := New(3, 4, 4, 0, 1, 0, 1, 0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic coarsening odd mesh")
+		}
+	}()
+	da.Coarsen()
+}
+
+func TestHierarchyAndMaxLevels(t *testing.T) {
+	fine := New(8, 8, 8, 0, 1, 0, 1, 0, 1)
+	if got := fine.MaxLevels(); got != 4 {
+		t.Fatalf("MaxLevels = %d, want 4", got)
+	}
+	h := Hierarchy(fine, 3)
+	if len(h) != 3 || h[2].Mx != 2 {
+		t.Fatalf("hierarchy wrong: %d levels, coarsest Mx=%d", len(h), h[2].Mx)
+	}
+	// Non-cubic: 8x2x4 supports 2 levels (after one coarsening my=1).
+	da := New(8, 2, 4, 0, 1, 0, 1, 0, 1)
+	if got := da.MaxLevels(); got != 2 {
+		t.Fatalf("MaxLevels(8,2,4) = %d, want 2", got)
+	}
+}
+
+func TestInjectNodalScalar(t *testing.T) {
+	fine := New(4, 4, 4, 0, 1, 0, 1, 0, 1)
+	coarse := fine.Coarsen()
+	ff := make([]float64, fine.NNodes())
+	for n := range ff {
+		i, j, k := fine.NodeIJK(n)
+		ff[n] = float64(100*i + 10*j + k)
+	}
+	cf := make([]float64, coarse.NNodes())
+	InjectNodalScalar(fine, coarse, ff, cf)
+	for n := range cf {
+		i, j, k := coarse.NodeIJK(n)
+		want := float64(100*(2*i) + 10*(2*j) + 2*k)
+		if cf[n] != want {
+			t.Fatalf("inject (%d,%d,%d) = %v, want %v", i, j, k, cf[n], want)
+		}
+	}
+}
+
+func TestCoarsenBC(t *testing.T) {
+	fine := New(4, 4, 4, 0, 1, 0, 1, 0, 1)
+	fbc := NewBC(fine)
+	fbc.FreeSlipBox(fine, XMin, XMax, YMin, YMax, ZMin)
+	coarse := fine.Coarsen()
+	cbc := CoarsenBC(fine, coarse, fbc)
+	// Compare against re-derived coarse BC.
+	ref := NewBC(coarse)
+	ref.FreeSlipBox(coarse, XMin, XMax, YMin, YMax, ZMin)
+	for d := range cbc.Mask {
+		if cbc.Mask[d] != ref.Mask[d] {
+			t.Fatalf("coarse BC mask mismatch at dof %d", d)
+		}
+	}
+}
+
+func TestUpdateFreeSurface(t *testing.T) {
+	for axis := 0; axis < 3; axis++ {
+		da := New(2, 2, 2, 0, 1, 0, 1, 0, 1)
+		vel := make([]float64, da.NVelDOF())
+		// Uniform upward velocity 1 along the axis.
+		for n := 0; n < da.NNodes(); n++ {
+			vel[3*n+axis] = 1
+		}
+		UpdateFreeSurface(da, vel, 0.5, axis)
+		min, max := SurfaceRange(da, axis)
+		if math.Abs(min-1.5) > 1e-14 || math.Abs(max-1.5) > 1e-14 {
+			t.Fatalf("axis %d: surface at [%v,%v], want 1.5", axis, min, max)
+		}
+		// Columns redistributed linearly: the mid-grid node should sit at 0.75.
+		var mid int
+		switch axis {
+		case 0:
+			mid = da.NodeID(2, 1, 1)
+		case 1:
+			mid = da.NodeID(1, 2, 1)
+		default:
+			mid = da.NodeID(1, 1, 2)
+		}
+		if got := da.Coords[3*mid+axis]; math.Abs(got-0.75) > 1e-14 {
+			t.Fatalf("axis %d: mid node at %v, want 0.75", axis, got)
+		}
+		// Bottom face unmoved.
+		var bot int
+		switch axis {
+		case 0:
+			bot = da.NodeID(0, 1, 1)
+		case 1:
+			bot = da.NodeID(1, 0, 1)
+		default:
+			bot = da.NodeID(1, 1, 0)
+		}
+		if da.Coords[3*bot+axis] != 0 {
+			t.Fatalf("axis %d: bottom moved", axis)
+		}
+	}
+}
+
+func TestUpdateFreeSurfaceNonUniform(t *testing.T) {
+	da := New(2, 2, 2, 0, 1, 0, 1, 0, 1)
+	vel := make([]float64, da.NVelDOF())
+	// Surface velocity varies with x: v_y = x at every node.
+	for n := 0; n < da.NNodes(); n++ {
+		x, _, _ := da.NodeCoords(n)
+		vel[3*n+1] = x
+	}
+	UpdateFreeSurface(da, vel, 1.0, 1)
+	min, max := SurfaceRange(da, 1)
+	if math.Abs(min-1.0) > 1e-14 || math.Abs(max-2.0) > 1e-14 {
+		t.Fatalf("topography range [%v,%v], want [1,2]", min, max)
+	}
+}

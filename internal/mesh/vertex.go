@@ -1,0 +1,114 @@
+package mesh
+
+import "math"
+
+// The "vertex grid" is the (Mx+1)×(My+1)×(Mz+1) grid of element corner
+// vertices — the Q1 mesh embedded in the Q2 mesh. Material-point fields
+// (effective viscosity, density) are projected onto this grid (paper
+// §II-C, Eq. 12) and interpolated trilinearly to quadrature points
+// (Eq. 13).
+
+// NVertices returns the number of element corner vertices.
+func (da *DA) NVertices() int { return (da.Mx + 1) * (da.My + 1) * (da.Mz + 1) }
+
+// VertexID returns the global vertex index of corner (i,j,k),
+// 0 <= i <= Mx etc.
+func (da *DA) VertexID(i, j, k int) int {
+	return (k*(da.My+1)+j)*(da.Mx+1) + i
+}
+
+// VertexIJK inverts VertexID.
+func (da *DA) VertexIJK(v int) (i, j, k int) {
+	i = v % (da.Mx + 1)
+	j = (v / (da.Mx + 1)) % (da.My + 1)
+	k = v / ((da.Mx + 1) * (da.My + 1))
+	return
+}
+
+// VertexNode returns the Q2 node index coincident with vertex (i,j,k)
+// (vertices sit on the even nodes of the Q2 grid).
+func (da *DA) VertexNode(i, j, k int) int { return da.NodeID(2*i, 2*j, 2*k) }
+
+// ElemVertices fills vs with the 8 global vertex indices of element e, in
+// Q1 local ordering (i fastest: l = (k*2+j)*2+i).
+func (da *DA) ElemVertices(e int, vs *[8]int32) {
+	ei, ej, ek := da.ElemIJK(e)
+	l := 0
+	for k := 0; k < 2; k++ {
+		for j := 0; j < 2; j++ {
+			for i := 0; i < 2; i++ {
+				vs[l] = int32(da.VertexID(ei+i, ej+j, ek+k))
+				l++
+			}
+		}
+	}
+}
+
+// InjectVertexScalar restricts a vertex-grid scalar field from the fine
+// mesh to the coarse mesh by injection (coarse vertex (i,j,k) coincides
+// with fine vertex (2i,2j,2k)). It carries projected material-point
+// coefficient fields down a rediscretized multigrid hierarchy.
+func InjectVertexScalar(fine, coarse *DA, ffield, cfield []float64) {
+	if len(ffield) != fine.NVertices() || len(cfield) != coarse.NVertices() {
+		panic("mesh: InjectVertexScalar length mismatch")
+	}
+	for k := 0; k <= coarse.Mz; k++ {
+		for j := 0; j <= coarse.My; j++ {
+			for i := 0; i <= coarse.Mx; i++ {
+				cfield[coarse.VertexID(i, j, k)] = ffield[fine.VertexID(2*i, 2*j, 2*k)]
+			}
+		}
+	}
+}
+
+// RestrictVertexFW restricts a vertex-grid scalar field to the coarse mesh
+// by full weighting: each coarse vertex receives the trilinear-weighted
+// average of its 27 fine-vertex neighbours. With geometric=true the
+// average is taken in log space (geometric mean), which is often the
+// better choice for viscosity fields with large jumps. This mimics
+// re-projecting the material points onto the coarse level (paper §II-C):
+// unlike injection it preserves the local average of the coefficient, and
+// multigrid convergence at high contrast depends on it.
+func RestrictVertexFW(fine, coarse *DA, ffield, cfield []float64, geometric bool) {
+	if len(ffield) != fine.NVertices() || len(cfield) != coarse.NVertices() {
+		panic("mesh: RestrictVertexFW length mismatch")
+	}
+	for k := 0; k <= coarse.Mz; k++ {
+		for j := 0; j <= coarse.My; j++ {
+			for i := 0; i <= coarse.Mx; i++ {
+				var sum, lsum, wsum float64
+				for dk := -1; dk <= 1; dk++ {
+					for dj := -1; dj <= 1; dj++ {
+						for di := -1; di <= 1; di++ {
+							fi, fj, fk := 2*i+di, 2*j+dj, 2*k+dk
+							if fi < 0 || fi > fine.Mx || fj < 0 || fj > fine.My || fk < 0 || fk > fine.Mz {
+								continue
+							}
+							w := 1.0
+							if di != 0 {
+								w *= 0.5
+							}
+							if dj != 0 {
+								w *= 0.5
+							}
+							if dk != 0 {
+								w *= 0.5
+							}
+							v := ffield[fine.VertexID(fi, fj, fk)]
+							sum += w * v
+							if geometric {
+								lsum += w * math.Log(v)
+							}
+							wsum += w
+						}
+					}
+				}
+				if geometric {
+					cfield[coarse.VertexID(i, j, k)] = math.Exp(lsum / wsum)
+				} else {
+					cfield[coarse.VertexID(i, j, k)] = sum / wsum
+				}
+			}
+		}
+	}
+}

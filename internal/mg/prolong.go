@@ -1,0 +1,256 @@
+// Package mg implements the geometric multigrid preconditioner of paper
+// §III-C for the viscous block: nodally nested mesh hierarchies,
+// prolongation by trilinear interpolation on the embedded Q1 space of the
+// Q2 node grid, restriction as its transpose, coarse operators by
+// rediscretization or Galerkin projection, Chebyshev/Jacobi smoothing and
+// a pluggable coarse-grid solver (block-Jacobi+LU, inner Krylov, or the
+// smoothed-aggregation AMG of package amg).
+package mg
+
+import (
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/mesh"
+	"ptatin3d/internal/par"
+)
+
+// Prolongation interpolates a 3-component velocity field from a coarse
+// mesh to the next finer mesh of a nodally nested hierarchy. Fine nodes
+// with even grid indices coincide with coarse nodes (weight 1); odd
+// indices average the two neighbouring coarse nodes (weight ½ each) —
+// trilinear interpolation of the embedded Q1 space (paper §III-C).
+// Dirichlet-constrained rows (fine) and columns (coarse) are zeroed so the
+// hierarchy acts on the free space.
+type Prolongation struct {
+	Fine, Coarse     *mesh.DA
+	FineBC, CoarseBC *mesh.BC
+	Workers          int
+}
+
+// NewProlongation wires a prolongation between the two meshes. BCs may be
+// nil for an unconstrained transfer.
+func NewProlongation(fine, coarse *mesh.DA, fbc, cbc *mesh.BC) *Prolongation {
+	if fine.NPx != 2*coarse.NPx-1 || fine.NPy != 2*coarse.NPy-1 || fine.NPz != 2*coarse.NPz-1 {
+		panic("mg: meshes are not a nested pair")
+	}
+	return &Prolongation{Fine: fine, Coarse: coarse, FineBC: fbc, CoarseBC: cbc, Workers: 1}
+}
+
+// stencil1D returns the coarse indices and weights interpolating fine
+// index i in one direction.
+func stencil1D(i int) (i0, i1 int, w0, w1 float64) {
+	if i%2 == 0 {
+		return i / 2, -1, 1, 0
+	}
+	return (i - 1) / 2, (i + 1) / 2, 0.5, 0.5
+}
+
+// Apply computes uf = P·uc.
+func (p *Prolongation) Apply(uc, uf la.Vec) {
+	f, c := p.Fine, p.Coarse
+	if len(uc) != c.NVelDOF() || len(uf) != f.NVelDOF() {
+		panic("mg: prolongation length mismatch")
+	}
+	var cmask, fmask []bool
+	if p.CoarseBC != nil {
+		cmask = p.CoarseBC.Mask
+	}
+	if p.FineBC != nil {
+		fmask = p.FineBC.Mask
+	}
+	par.ForItems(p.Workers, f.NPz, func(k int) {
+		k0, k1, wk0, wk1 := stencil1D(k)
+		for j := 0; j < f.NPy; j++ {
+			j0, j1, wj0, wj1 := stencil1D(j)
+			for i := 0; i < f.NPx; i++ {
+				i0, i1, wi0, wi1 := stencil1D(i)
+				fd := 3 * f.NodeID(i, j, k)
+				var v [3]float64
+				acc := func(ci, cj, ck int, w float64) {
+					if w == 0 {
+						return
+					}
+					cd := 3 * c.NodeID(ci, cj, ck)
+					for a := 0; a < 3; a++ {
+						if cmask != nil && cmask[cd+a] {
+							continue
+						}
+						v[a] += w * uc[cd+a]
+					}
+				}
+				for _, kk := range [2]struct {
+					idx int
+					w   float64
+				}{{k0, wk0}, {k1, wk1}} {
+					if kk.idx < 0 {
+						continue
+					}
+					for _, jj := range [2]struct {
+						idx int
+						w   float64
+					}{{j0, wj0}, {j1, wj1}} {
+						if jj.idx < 0 {
+							continue
+						}
+						if i0 >= 0 {
+							acc(i0, jj.idx, kk.idx, wi0*jj.w*kk.w)
+						}
+						if i1 >= 0 {
+							acc(i1, jj.idx, kk.idx, wi1*jj.w*kk.w)
+						}
+					}
+				}
+				for a := 0; a < 3; a++ {
+					if fmask != nil && fmask[fd+a] {
+						uf[fd+a] = 0
+					} else {
+						uf[fd+a] = v[a]
+					}
+				}
+			}
+		}
+	})
+}
+
+// ApplyTranspose computes rc = Pᵀ·rf (restriction, paper §III-C:
+// R = Pᵀ).
+func (p *Prolongation) ApplyTranspose(rf, rc la.Vec) {
+	f, c := p.Fine, p.Coarse
+	if len(rc) != c.NVelDOF() || len(rf) != f.NVelDOF() {
+		panic("mg: restriction length mismatch")
+	}
+	var cmask, fmask []bool
+	if p.CoarseBC != nil {
+		cmask = p.CoarseBC.Mask
+	}
+	if p.FineBC != nil {
+		fmask = p.FineBC.Mask
+	}
+	rc.Zero()
+	// Scatter-add form; serialized over z-slabs in parallel requires care,
+	// so restriction runs sequentially per z-plane pair (cheap relative to
+	// smoothing).
+	for k := 0; k < f.NPz; k++ {
+		k0, k1, wk0, wk1 := stencil1D(k)
+		for j := 0; j < f.NPy; j++ {
+			j0, j1, wj0, wj1 := stencil1D(j)
+			for i := 0; i < f.NPx; i++ {
+				i0, i1, wi0, wi1 := stencil1D(i)
+				fd := 3 * f.NodeID(i, j, k)
+				var v [3]float64
+				masked := false
+				for a := 0; a < 3; a++ {
+					if fmask != nil && fmask[fd+a] {
+						v[a] = 0
+						masked = true
+					} else {
+						v[a] = rf[fd+a]
+					}
+				}
+				if v[0] == 0 && v[1] == 0 && v[2] == 0 && !masked {
+					continue
+				}
+				add := func(ci, cj, ck int, w float64) {
+					if w == 0 {
+						return
+					}
+					cd := 3 * c.NodeID(ci, cj, ck)
+					for a := 0; a < 3; a++ {
+						rc[cd+a] += w * v[a]
+					}
+				}
+				for _, kk := range [2]struct {
+					idx int
+					w   float64
+				}{{k0, wk0}, {k1, wk1}} {
+					if kk.idx < 0 {
+						continue
+					}
+					for _, jj := range [2]struct {
+						idx int
+						w   float64
+					}{{j0, wj0}, {j1, wj1}} {
+						if jj.idx < 0 {
+							continue
+						}
+						if i0 >= 0 {
+							add(i0, jj.idx, kk.idx, wi0*jj.w*kk.w)
+						}
+						if i1 >= 0 {
+							add(i1, jj.idx, kk.idx, wi1*jj.w*kk.w)
+						}
+					}
+				}
+			}
+		}
+	}
+	if cmask != nil {
+		for d, m := range cmask {
+			if m {
+				rc[d] = 0
+			}
+		}
+	}
+}
+
+// ToCSR materializes the prolongation as a sparse matrix (fine dofs ×
+// coarse dofs) for Galerkin triple products. Constrained fine rows and
+// coarse columns are dropped.
+func (p *Prolongation) ToCSR() *la.CSR {
+	f, c := p.Fine, p.Coarse
+	b := la.NewBuilder(f.NVelDOF(), c.NVelDOF())
+	var cmask, fmask []bool
+	if p.CoarseBC != nil {
+		cmask = p.CoarseBC.Mask
+	}
+	if p.FineBC != nil {
+		fmask = p.FineBC.Mask
+	}
+	for k := 0; k < f.NPz; k++ {
+		k0, k1, wk0, wk1 := stencil1D(k)
+		for j := 0; j < f.NPy; j++ {
+			j0, j1, wj0, wj1 := stencil1D(j)
+			for i := 0; i < f.NPx; i++ {
+				i0, i1, wi0, wi1 := stencil1D(i)
+				fd := 3 * f.NodeID(i, j, k)
+				ent := func(ci, cj, ck int, w float64) {
+					if w == 0 {
+						return
+					}
+					cd := 3 * c.NodeID(ci, cj, ck)
+					for a := 0; a < 3; a++ {
+						if fmask != nil && fmask[fd+a] {
+							continue
+						}
+						if cmask != nil && cmask[cd+a] {
+							continue
+						}
+						b.Add(fd+a, cd+a, w)
+					}
+				}
+				for _, kk := range [2]struct {
+					idx int
+					w   float64
+				}{{k0, wk0}, {k1, wk1}} {
+					if kk.idx < 0 {
+						continue
+					}
+					for _, jj := range [2]struct {
+						idx int
+						w   float64
+					}{{j0, wj0}, {j1, wj1}} {
+						if jj.idx < 0 {
+							continue
+						}
+						if i0 >= 0 {
+							ent(i0, jj.idx, kk.idx, wi0*jj.w*kk.w)
+						}
+						if i1 >= 0 {
+							ent(i1, jj.idx, kk.idx, wi1*jj.w*kk.w)
+						}
+					}
+				}
+			}
+		}
+	}
+	return b.ToCSR()
+}

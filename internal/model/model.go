@@ -1,0 +1,346 @@
+// Package model is the top-level pTatin3D driver (paper §II and §V): it
+// couples the material-point method, the rheology table, the nonlinear
+// heterogeneous Stokes solver, the SUPG energy equation, and the ALE free
+// surface into a time-stepping loop, and provides the paper's two model
+// problems — the sinker/sedimentation benchmark (§IV-A) and the
+// continental rifting model (§V).
+package model
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/krylov"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/mg"
+	"ptatin3d/internal/mpm"
+	"ptatin3d/internal/nonlinear"
+	"ptatin3d/internal/rheology"
+	"ptatin3d/internal/stokes"
+	"ptatin3d/internal/thermal"
+)
+
+// Model holds the full simulation state.
+type Model struct {
+	Prob   *fem.Problem
+	Points *mpm.Points
+	Lith   rheology.Table
+
+	// X is the current coupled state [u; p].
+	X la.Vec
+	// T is the vertex-grid temperature (nil disables the energy equation).
+	T    *thermal.Solver
+	Temp []float64
+	// Stokes solver configuration; the preconditioner is rebuilt on each
+	// nonlinear relinearization with the current Picard coefficients.
+	Cfg stokes.Config
+
+	// VerticalAxis is the gravity direction index (sinker: 2, rift: 1).
+	VerticalAxis int
+	// FreeSurface enables the column-wise ALE update of the max face of
+	// VerticalAxis after each step.
+	FreeSurface bool
+	// CFL controls the advection time step (fraction of min cell crossing
+	// time).
+	CFL float64
+	// MaxDt bounds the time step (0 = unbounded).
+	MaxDt float64
+	// UseNewton applies the true Newton linearization in the Krylov
+	// matvec (paper §III-A); the preconditioner always uses Picard.
+	UseNewton bool
+	// MinPointsPerElement enables material-point population control:
+	// after advection, elements holding fewer points are re-seeded from
+	// their neighbourhood (0 disables). Long runs with outflow boundaries
+	// or strong shear need this to keep the Eq. 12 projection healthy.
+	MinPointsPerElement int
+	// Nonlinear controls the outer Newton/Picard iteration.
+	Nonlinear nonlinear.Options
+
+	Time    float64
+	StepNum int
+	Workers int
+
+	// Per-step diagnostics (Figure 4 data).
+	Stats []StepStats
+
+	// Cached vertex coefficient fields (projection fallbacks).
+	etaV, rhoV []float64
+}
+
+// StepStats records one time step's solver behaviour — the per-step
+// Newton/Krylov counts of Figure 4.
+type StepStats struct {
+	Step       int
+	Time       float64
+	Dt         float64
+	NewtonIts  int
+	KrylovIts  int
+	FNorm0     float64
+	FNorm      float64
+	Converged  bool
+	SolveTime  time.Duration
+	PointCount int
+	TopoMin    float64
+	TopoMax    float64
+}
+
+// pointState evaluates the rheological state of material point i for the
+// current coupled state x.
+func (m *Model) pointState(x la.Vec, i int) rheology.State {
+	e := int(m.Points.Elem[i])
+	st := rheology.State{PlasticStrain: m.Points.Plastic[i]}
+	if e < 0 {
+		return st
+	}
+	nu := m.Prob.DA.NVelDOF()
+	u := x[:nu]
+	pv := x[nu:]
+	st.StrainRateII = fem.StrainRateAtPoint(m.Prob, u, e, m.Points.Xi[i], m.Points.Et[i], m.Points.Ze[i])
+	st.Pressure = fem.EvalPressure(m.Prob, pv, e, m.Points.X[i], m.Points.Y[i], m.Points.Z[i])
+	if m.Temp != nil {
+		st.Temperature = thermal.TemperatureAt(m.Prob, m.Temp, e, m.Points.Xi[i], m.Points.Et[i], m.Points.Ze[i])
+	}
+	return st
+}
+
+// UpdateCoefficients evaluates η and ρ at every material point for the
+// state x, projects them onto the vertex grid (Eq. 12) and installs them
+// at the quadrature points (Eq. 13). With wantDeriv it additionally
+// returns the projected Newton factor η′/ε̇_II at quadrature points.
+func (m *Model) UpdateCoefficients(x la.Vec, wantDeriv bool) (facQP []float64) {
+	pts := m.Points
+	n := pts.Len()
+	etaP := make([]float64, n)
+	rhoP := make([]float64, n)
+	var facP []float64
+	if wantDeriv {
+		facP = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		st := m.pointState(x, i)
+		l := &m.Lith[pts.Litho[i]]
+		if wantDeriv {
+			eta, d := l.EffectiveViscosityDerivative(st)
+			etaP[i] = eta
+			eII := st.StrainRateII
+			if eII < 1e-12 {
+				eII = 1e-12
+			}
+			// Tangent safeguard: along the current strain-rate direction
+			// the Newton operator's modulus is 2(η + η′·ε̇); on the
+			// Drucker–Prager branch η′ = −η/ε̇ makes it exactly zero
+			// (perfect plasticity), and projection smearing can push it
+			// negative — an indefinite Krylov operator that the Picard
+			// preconditioner cannot handle. Keep 10% of the Picard
+			// stiffness: η′ ≥ −0.9·η/ε̇.
+			if lo := -0.9 * eta / eII; d < lo {
+				d = lo
+			}
+			facP[i] = d / eII
+		} else {
+			etaP[i], _ = l.EffectiveViscosity(st)
+		}
+		rhoP[i] = l.Density(st)
+	}
+	m.etaV, m.rhoV = mpm.ProjectLithologyFields(m.Prob, pts,
+		func(i int) float64 { return etaP[i] },
+		func(i int) float64 { return rhoP[i] },
+		m.etaV, m.rhoV)
+	if wantDeriv {
+		facV := mpm.ProjectToVertices(m.Prob, pts, func(i int) float64 { return facP[i] }, nil)
+		facQP = make([]float64, fem.NQP*m.Prob.DA.NElements())
+		fem.VertexToQP(m.Prob, facV, facQP)
+	}
+	return facQP
+}
+
+// CoeffCoarsener wires the projected vertex fields into the multigrid
+// coefficient hierarchy (full-weighted restriction per level). Callers
+// composing their own stokes.Config should install it as CoeffCoarsen.
+func (m *Model) CoeffCoarsener() func(level int, p *fem.Problem) {
+	return mg.VertexCoeffCoarsener(m.Prob.DA, m.etaV, m.rhoV)
+}
+
+// SolveStokes performs the nonlinear Stokes solve for the current
+// material configuration, updating m.X. It returns the nonlinear result.
+// Following §III-A, each relinearization rebuilds the Picard
+// preconditioner; the Krylov operator is the Newton linearization when
+// UseNewton is set, else the Picard operator.
+func (m *Model) SolveStokes() (nonlinear.Result, error) {
+	prob := m.Prob
+	nu := prob.DA.NVelDOF()
+	ncoup := nu + prob.DA.NPresDOF()
+	if len(m.X) != ncoup {
+		m.X = la.NewVec(ncoup)
+	}
+	prob.BC.ApplyToVec(m.X[:nu])
+
+	// Geometry-dependent blocks (rebuilt each step: the ALE mesh moves).
+	coupling := fem.NewCoupling(prob)
+	bu := la.NewVec(nu)
+
+	var buildErr error
+	sys := nonlinear.System{
+		N: ncoup,
+		Residual: func(x, f la.Vec) {
+			m.UpdateCoefficients(x, false)
+			fem.MomentumRHS(prob, bu)
+			op := stokes.NewOp(prob, fem.NewTensor(prob), coupling)
+			op.Residual(x, bu, f)
+		},
+		Prepare: func(x la.Vec) (krylov.Op, krylov.Preconditioner) {
+			facQP := m.UpdateCoefficients(x, m.UseNewton)
+			cfg := m.Cfg
+			cfg.Workers = m.Workers
+			cfg.VerticalAxis = m.VerticalAxis
+			cfg.CoeffCoarsen = m.CoeffCoarsener()
+			s, err := stokes.New(prob, cfg)
+			if err != nil {
+				buildErr = err
+				// Fall back to identity so the outer loop can terminate.
+				id := krylov.OpFunc{Dim: ncoup, F: func(a, b la.Vec) { b.Copy(a) }}
+				return id, krylov.Identity{}
+			}
+			if m.UseNewton {
+				nel := prob.DA.NElements()
+				d6 := make([]float64, 6*fem.NQP*nel)
+				fem.StrainRateAtQP(prob, x[:nu], d6, nil)
+				nop := fem.NewNewton(fem.NewTensor(prob), d6, facQP)
+				return stokes.NewOp(prob, nop, coupling), s.FS
+			}
+			return s.Op, s.FS
+		},
+		Method:      "fgmres",
+		InnerParams: m.Cfg.Params,
+	}
+	res := nonlinear.Solve(sys, m.X, m.Nonlinear)
+	if buildErr != nil {
+		return res, fmt.Errorf("model: preconditioner setup: %w", buildErr)
+	}
+	return res, nil
+}
+
+// minCellSize returns the smallest element edge proxy (corner spacing).
+func (m *Model) minCellSize() float64 {
+	da := m.Prob.DA
+	min := math.Inf(1)
+	// Sample the structured spacing from the first node row/column/slab of
+	// each direction; for deformed meshes this is a usable proxy.
+	for _, d := range [3]struct {
+		n1, n2 int
+	}{
+		{da.NodeID(0, 0, 0), da.NodeID(2, 0, 0)},
+		{da.NodeID(0, 0, 0), da.NodeID(0, 2, 0)},
+		{da.NodeID(0, 0, 0), da.NodeID(0, 0, 2)},
+	} {
+		dx := da.Coords[3*d.n2] - da.Coords[3*d.n1]
+		dy := da.Coords[3*d.n2+1] - da.Coords[3*d.n1+1]
+		dz := da.Coords[3*d.n2+2] - da.Coords[3*d.n1+2]
+		h := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		if h > 0 && h < min {
+			min = h
+		}
+	}
+	return min
+}
+
+// StepForward advances the model by one time step: nonlinear Stokes solve
+// → CFL time step → plastic strain accumulation → material point
+// advection (+ outflow removal) → ALE free surface update → energy
+// equation. It appends a StepStats record.
+func (m *Model) StepForward() error {
+	start := time.Now()
+	res, err := m.SolveStokes()
+	if err != nil {
+		return err
+	}
+	nu := m.Prob.DA.NVelDOF()
+	u := m.X[:nu]
+
+	// Time step from the CFL condition.
+	cfl := m.CFL
+	if cfl <= 0 {
+		cfl = 0.25
+	}
+	vmax := mpm.MaxVelocity(u)
+	dt := math.Inf(1)
+	if vmax > 0 {
+		dt = cfl * m.minCellSize() / vmax
+	}
+	if m.MaxDt > 0 && dt > m.MaxDt {
+		dt = m.MaxDt
+	}
+	if math.IsInf(dt, 1) {
+		dt = m.MaxDt
+		if dt <= 0 {
+			dt = 1
+		}
+	}
+
+	// Accumulate plastic strain on yielding points (history variable
+	// update of §V-A) using the converged state.
+	for i := 0; i < m.Points.Len(); i++ {
+		st := m.pointState(m.X, i)
+		l := &m.Lith[m.Points.Litho[i]]
+		if _, yielding := l.EffectiveViscosity(st); yielding {
+			m.Points.Plastic[i] += dt * st.StrainRateII
+		}
+	}
+
+	// Advect material points; outflow points are removed (§II-D).
+	mpm.AdvectRK2(m.Prob, u, dt, m.Points, maxInt(1, m.Workers))
+	for i := m.Points.Len() - 1; i >= 0; i-- {
+		if m.Points.Elem[i] < 0 {
+			m.Points.RemoveSwap(i)
+		}
+	}
+	if m.MinPointsPerElement > 0 {
+		nper := 2
+		mpm.EnsureMinPerElement(m.Prob, m.Points, m.MinPointsPerElement, nper)
+	}
+
+	// ALE free surface update; every point must be relocated afterwards
+	// because the mesh under it moved.
+	var topoMin, topoMax float64
+	if m.FreeSurface {
+		meshUpdateFreeSurface(m, u, dt)
+		for i := m.Points.Len() - 1; i >= 0; i-- {
+			e, xi, et, ze, ok := mpm.Locate(m.Prob, m.Points.X[i], m.Points.Y[i], m.Points.Z[i], int(m.Points.Elem[i]))
+			if !ok {
+				m.Points.RemoveSwap(i)
+				continue
+			}
+			m.Points.Elem[i] = int32(e)
+			m.Points.Xi[i], m.Points.Et[i], m.Points.Ze[i] = xi, et, ze
+		}
+	}
+	topoMin, topoMax = surfaceRange(m)
+
+	// Energy equation.
+	if m.T != nil && m.Temp != nil {
+		if err := m.T.Step(m.Temp, u, dt); err != nil {
+			return fmt.Errorf("model: thermal step: %w", err)
+		}
+	}
+
+	m.Time += dt
+	m.StepNum++
+	m.Stats = append(m.Stats, StepStats{
+		Step: m.StepNum, Time: m.Time, Dt: dt,
+		NewtonIts: res.Iterations, KrylovIts: res.KrylovIts,
+		FNorm0: res.FNorm0, FNorm: res.FNorm, Converged: res.Converged,
+		SolveTime:  time.Since(start),
+		PointCount: m.Points.Len(),
+		TopoMin:    topoMin, TopoMax: topoMax,
+	})
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

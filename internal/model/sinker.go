@@ -1,0 +1,128 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/mesh"
+	"ptatin3d/internal/mpm"
+	"ptatin3d/internal/nonlinear"
+	"ptatin3d/internal/rheology"
+	"ptatin3d/internal/stokes"
+)
+
+// SinkerOptions parametrizes the sedimentation benchmark of paper §IV-A:
+// Nc randomly placed, non-intersecting spheres of radius Rc in the unit
+// cube, viscosity contrast Δη between ambient fluid and spheres, slip
+// walls, free surface at z = 1, gravity (0,0,−9.8).
+type SinkerOptions struct {
+	M        int     // elements per direction
+	Nc       int     // number of spheres (paper: 8)
+	Rc       float64 // sphere radius (paper: 0.1)
+	DeltaEta float64 // viscosity contrast Δη
+	PPE      int     // material points per element per direction (default 3)
+	Seed     int64   // sphere placement seed (deterministic by default)
+	Workers  int
+}
+
+// DefaultSinkerOptions returns the paper's configuration at a reduced
+// default resolution.
+func DefaultSinkerOptions() SinkerOptions {
+	return SinkerOptions{M: 8, Nc: 8, Rc: 0.1, DeltaEta: 100, PPE: 3, Seed: 20140704, Workers: 1}
+}
+
+// SinkerSpheres returns the deterministic sphere centres for the options.
+func SinkerSpheres(o SinkerOptions) [][3]float64 {
+	rng := rand.New(rand.NewSource(o.Seed))
+	var centers [][3]float64
+	guard := 0
+	for len(centers) < o.Nc && guard < 100000 {
+		guard++
+		c := [3]float64{
+			o.Rc + rng.Float64()*(1-2*o.Rc),
+			o.Rc + rng.Float64()*(1-2*o.Rc),
+			o.Rc + rng.Float64()*(1-2*o.Rc),
+		}
+		ok := true
+		for _, p := range centers {
+			d := math.Sqrt((c[0]-p[0])*(c[0]-p[0]) + (c[1]-p[1])*(c[1]-p[1]) + (c[2]-p[2])*(c[2]-p[2]))
+			if d < 2*o.Rc {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			centers = append(centers, c)
+		}
+	}
+	return centers
+}
+
+// NewSinker builds the sedimentation model: lithology 0 is the ambient
+// fluid (η = 1/Δη, ρ = 1), lithology 1 the spheres (η = 1, ρ = 1.2).
+func NewSinker(o SinkerOptions) *Model {
+	if o.M <= 0 {
+		o.M = 8
+	}
+	if o.PPE <= 0 {
+		o.PPE = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	centers := SinkerSpheres(o)
+	inside := func(x, y, z float64) bool {
+		for _, c := range centers {
+			d2 := (x-c[0])*(x-c[0]) + (y-c[1])*(y-c[1]) + (z-c[2])*(z-c[2])
+			if d2 < o.Rc*o.Rc {
+				return true
+			}
+		}
+		return false
+	}
+
+	da := mesh.New(o.M, o.M, o.M, 0, 1, 0, 1, 0, 1)
+	bc := mesh.NewBC(da)
+	bc.FreeSlipBox(da, mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin)
+	prob := fem.NewProblem(da, bc)
+	prob.Workers = o.Workers
+	prob.Gravity = [3]float64{0, 0, -9.8}
+
+	pts := mpm.NewLattice(prob, o.PPE, func(x, y, z float64) int32 {
+		if inside(x, y, z) {
+			return 1
+		}
+		return 0
+	})
+
+	lith := rheology.Table{
+		{Name: "ambient", Type: rheology.Constant, Eta0: 1 / o.DeltaEta, Rho0: 1},
+		{Name: "sphere", Type: rheology.Constant, Eta0: 1, Rho0: 1.2},
+	}
+
+	cfg := stokes.DefaultConfig()
+	cfg.Workers = o.Workers
+	if !mesh.New(o.M, o.M, o.M, 0, 1, 0, 1, 0, 1).CanCoarsen() || o.M < 8 {
+		cfg.Levels = 2
+	}
+
+	nl := nonlinear.DefaultOptions()
+	// The sinker rheology is linear: one Picard step with a tight inner
+	// solve at the paper's tolerance solves it, so adaptive
+	// (Eisenstat–Walker) forcing would only slow the first step down.
+	// Keep a small iteration budget for the projection-induced
+	// coefficient feedback.
+	nl.EisenstatWalker = false
+	nl.MaxIt = 3
+	nl.RTol = 1e-5
+
+	m := &Model{
+		Prob: prob, Points: pts, Lith: lith,
+		Cfg: cfg, VerticalAxis: 2, FreeSurface: true,
+		CFL: 0.25, Workers: o.Workers,
+		Nonlinear: nl,
+	}
+	m.UpdateCoefficients(make([]float64, da.NVelDOF()+da.NPresDOF()), false)
+	return m
+}

@@ -1,0 +1,90 @@
+package mpm
+
+import (
+	"math"
+
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/par"
+)
+
+// VelocityAt interpolates the Q2 velocity field u at the cached location
+// of point i.
+func VelocityAt(prob *fem.Problem, u la.Vec, pts *Points, i int) (vx, vy, vz float64) {
+	e := int(pts.Elem[i])
+	if e < 0 {
+		return 0, 0, 0
+	}
+	var nb [27]float64
+	fem.Q2Eval(pts.Xi[i], pts.Et[i], pts.Ze[i], &nb)
+	em := prob.Emap[27*e : 27*e+27]
+	for n := 0; n < 27; n++ {
+		d := 3 * int(em[n])
+		vx += nb[n] * u[d]
+		vy += nb[n] * u[d+1]
+		vz += nb[n] * u[d+2]
+	}
+	return
+}
+
+// AdvectRK2 advances every located point through the velocity field u by
+// one explicit midpoint (RK2) step of size dt, then relocates all points.
+// Points advected out of the domain are reported (outflow handling /
+// migration is the caller's job, per §II-D). Unlocated points are left in
+// place.
+func AdvectRK2(prob *fem.Problem, u la.Vec, dt float64, pts *Points, workers int) (lost []int) {
+	n := pts.Len()
+	// Stage 1: midpoint positions (points carry their own scratch here).
+	midX := make([]float64, n)
+	midY := make([]float64, n)
+	midZ := make([]float64, n)
+	par.ForItems(workers, n, func(i int) {
+		if pts.Elem[i] < 0 {
+			midX[i], midY[i], midZ[i] = pts.X[i], pts.Y[i], pts.Z[i]
+			return
+		}
+		vx, vy, vz := VelocityAt(prob, u, pts, i)
+		midX[i] = pts.X[i] + 0.5*dt*vx
+		midY[i] = pts.Y[i] + 0.5*dt*vy
+		midZ[i] = pts.Z[i] + 0.5*dt*vz
+	})
+	// Locate midpoints and evaluate the velocity there; if a midpoint
+	// leaves the domain fall back to the stage-1 velocity (Euler).
+	par.ForItems(workers, n, func(i int) {
+		if pts.Elem[i] < 0 {
+			return
+		}
+		e, xi, et, ze, ok := Locate(prob, midX[i], midY[i], midZ[i], int(pts.Elem[i]))
+		var vx, vy, vz float64
+		if ok {
+			var nb [27]float64
+			fem.Q2Eval(xi, et, ze, &nb)
+			em := prob.Emap[27*e : 27*e+27]
+			for nn := 0; nn < 27; nn++ {
+				d := 3 * int(em[nn])
+				vx += nb[nn] * u[d]
+				vy += nb[nn] * u[d+1]
+				vz += nb[nn] * u[d+2]
+			}
+		} else {
+			vx, vy, vz = VelocityAt(prob, u, pts, i)
+		}
+		pts.X[i] += dt * vx
+		pts.Y[i] += dt * vy
+		pts.Z[i] += dt * vz
+	})
+	return LocateAll(prob, pts)
+}
+
+// MaxVelocity returns the maximum nodal speed of u — the CFL building
+// block for time-step selection.
+func MaxVelocity(u la.Vec) float64 {
+	var m float64
+	for i := 0; i+2 < len(u); i += 3 {
+		s := u[i]*u[i] + u[i+1]*u[i+1] + u[i+2]*u[i+2]
+		if s > m {
+			m = s
+		}
+	}
+	return math.Sqrt(m)
+}

@@ -1,0 +1,198 @@
+package mpm
+
+import (
+	"ptatin3d/internal/fem"
+)
+
+// ProjectToVertices performs the approximate local L2 projection of a
+// material-point property onto the Q1 corner-vertex mesh (paper Eq. 12):
+//
+//	f_i = Σ_p N_i(x_p)·f_p / Σ_p N_i(x_p)
+//
+// where N_i is the trilinear interpolant supported on the elements
+// adjacent to vertex i, and value(p) supplies the property of point p
+// (e.g. effective viscosity from the lithology's flow law). Vertices
+// whose support contains no points keep fallback[i] (pass nil to fall
+// back to the nearest populated value sweep).
+func ProjectToVertices(prob *fem.Problem, pts *Points, value func(i int) float64, fallback []float64) []float64 {
+	da := prob.DA
+	nv := da.NVertices()
+	num := make([]float64, nv)
+	den := make([]float64, nv)
+	var vs [8]int32
+	var nb [8]float64
+	for i := 0; i < pts.Len(); i++ {
+		e := int(pts.Elem[i])
+		if e < 0 {
+			continue
+		}
+		da.ElemVertices(e, &vs)
+		fem.Q1Eval(pts.Xi[i], pts.Et[i], pts.Ze[i], &nb)
+		v := value(i)
+		for c := 0; c < 8; c++ {
+			num[vs[c]] += nb[c] * v
+			den[vs[c]] += nb[c]
+		}
+	}
+	out := make([]float64, nv)
+	empty := 0
+	for i := range out {
+		if den[i] > 0 {
+			out[i] = num[i] / den[i]
+		} else if fallback != nil {
+			out[i] = fallback[i]
+		} else {
+			empty++
+			out[i] = 0 // patched below
+		}
+	}
+	if fallback == nil && empty > 0 {
+		patchEmptyVertices(da, out, den)
+	}
+	return out
+}
+
+// patchEmptyVertices fills starved vertices (no points in support) with
+// the average of populated neighbouring vertices, sweeping until covered.
+// Rare in practice — it needs an element devoid of material points — but
+// projection must stay total for the solver.
+func patchEmptyVertices(da interface {
+	VertexID(i, j, k int) int
+	VertexIJK(v int) (int, int, int)
+}, out, den []float64) {
+	type ijk struct{ i, j, k int }
+	var maxI, maxJ, maxK int
+	for v := range out {
+		i, j, k := da.VertexIJK(v)
+		if i > maxI {
+			maxI = i
+		}
+		if j > maxJ {
+			maxJ = j
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	filled := make([]bool, len(out))
+	for v := range out {
+		filled[v] = den[v] > 0
+	}
+	for sweep := 0; sweep < len(out); sweep++ {
+		changed := false
+		done := true
+		for v := range out {
+			if filled[v] {
+				continue
+			}
+			done = false
+			i, j, k := da.VertexIJK(v)
+			var sum float64
+			var n int
+			for _, d := range []ijk{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+				ii, jj, kk := i+d.i, j+d.j, k+d.k
+				if ii < 0 || ii > maxI || jj < 0 || jj > maxJ || kk < 0 || kk > maxK {
+					continue
+				}
+				nv := da.VertexID(ii, jj, kk)
+				if filled[nv] {
+					sum += out[nv]
+					n++
+				}
+			}
+			if n > 0 {
+				out[v] = sum / float64(n)
+				filled[v] = true
+				changed = true
+			}
+		}
+		if done || !changed {
+			break
+		}
+	}
+}
+
+// ProjectLithologyFields projects per-point viscosity and density —
+// computed by the supplied evaluators from each point's lithology and
+// state — onto the vertex grid and installs them at the problem's
+// quadrature points (the full Eq. 12 → Eq. 13 pipeline). It returns the
+// vertex fields so multigrid coefficient coarseners can reuse them.
+func ProjectLithologyFields(prob *fem.Problem, pts *Points,
+	etaOf, rhoOf func(i int) float64,
+	etaPrev, rhoPrev []float64) (etaV, rhoV []float64) {
+	etaV = ProjectToVertices(prob, pts, etaOf, etaPrev)
+	rhoV = ProjectToVertices(prob, pts, rhoOf, rhoPrev)
+	prob.SetCoefficientsVertex(etaV, rhoV)
+	return etaV, rhoV
+}
+
+// EnsureMinPerElement is the population-control safeguard: elements whose
+// point count has dropped below minCount (advection can drain cells near
+// outflow boundaries and strong shear) are re-seeded with an nper³
+// reference lattice. Injected points inherit the lithology and plastic
+// strain of the nearest existing point (searching the element itself,
+// then the whole population) so composition is preserved. Returns the
+// number of injected points.
+func EnsureMinPerElement(prob *fem.Problem, pts *Points, minCount, nper int) int {
+	counts := CountPerElement(prob, pts)
+	injected := 0
+	var xe [81]float64
+	var nb [27]float64
+	for e, c := range counts {
+		if c >= minCount {
+			continue
+		}
+		gatherCoords(prob, e, &xe)
+		for k := 0; k < nper; k++ {
+			for j := 0; j < nper; j++ {
+				for i := 0; i < nper; i++ {
+					xi := -1 + (2*float64(i)+1)/float64(nper)
+					et := -1 + (2*float64(j)+1)/float64(nper)
+					ze := -1 + (2*float64(k)+1)/float64(nper)
+					fem.Q2Eval(xi, et, ze, &nb)
+					var px, py, pz float64
+					for n := 0; n < 27; n++ {
+						px += nb[n] * xe[3*n]
+						py += nb[n] * xe[3*n+1]
+						pz += nb[n] * xe[3*n+2]
+					}
+					lith, plastic := nearestPointProps(pts, e, px, py, pz)
+					idx := pts.Append(px, py, pz, lith, plastic)
+					pts.Elem[idx] = int32(e)
+					pts.Xi[idx], pts.Et[idx], pts.Ze[idx] = xi, et, ze
+					injected++
+				}
+			}
+		}
+	}
+	return injected
+}
+
+// nearestPointProps finds the nearest existing point, preferring points in
+// the same element, and returns its lithology and plastic strain.
+func nearestPointProps(pts *Points, elem int, x, y, z float64) (int32, float64) {
+	bestD := -1.0
+	var lith int32
+	var plastic float64
+	scan := func(sameElemOnly bool) bool {
+		found := false
+		for i := 0; i < pts.Len(); i++ {
+			if sameElemOnly && int(pts.Elem[i]) != elem {
+				continue
+			}
+			dx, dy, dz := pts.X[i]-x, pts.Y[i]-y, pts.Z[i]-z
+			d := dx*dx + dy*dy + dz*dz
+			if bestD < 0 || d < bestD {
+				bestD = d
+				lith = pts.Litho[i]
+				plastic = pts.Plastic[i]
+				found = true
+			}
+		}
+		return found
+	}
+	if !scan(true) {
+		scan(false)
+	}
+	return lith, plastic
+}

@@ -1,0 +1,205 @@
+// Package nonlinear implements the outer nonlinear solvers of paper
+// §III-A: Picard iteration and an inexact Newton–Krylov method guarded by
+// a backtracking line search, with linear-solve tolerances chosen
+// adaptively by the Eisenstat–Walker criterion. The caller supplies the
+// residual and a per-iteration "prepare" hook that relinearizes the
+// operator and preconditioner around the current state (for Stokes: the
+// Newton operator drives the Krylov matvec while the preconditioner keeps
+// the Picard linearization, §III-A).
+package nonlinear
+
+import (
+	"math"
+
+	"ptatin3d/internal/krylov"
+	"ptatin3d/internal/la"
+)
+
+// System describes the nonlinear problem F(x) = 0.
+type System struct {
+	N int
+	// Residual evaluates f = F(x).
+	Residual func(x, f la.Vec)
+	// Prepare relinearizes around x and returns the Jacobian operator and
+	// its preconditioner. Called once per outer iteration. For a Picard
+	// iteration, return the Picard operator here.
+	Prepare func(x la.Vec) (krylov.Op, krylov.Preconditioner)
+	// Method selects the inner Krylov method ("gcr" or default "fgmres").
+	Method string
+	// InnerParams bounds the inner solves (MaxIt, Restart); RTol is
+	// overridden per iteration when Eisenstat–Walker is active.
+	InnerParams krylov.Params
+}
+
+// Options controls the outer iteration.
+type Options struct {
+	MaxIt int
+	// RTol/ATol stop on ‖F‖ ≤ max(RTol·‖F₀‖, ATol).
+	RTol, ATol float64
+	// EisenstatWalker enables adaptive forcing terms (choice 2 of [39]):
+	// η_k = γ·(‖F_k‖/‖F_{k−1}‖)^α with safeguarding; otherwise the fixed
+	// InnerParams.RTol is used.
+	EisenstatWalker bool
+	EWGamma         float64 // default 0.9
+	EWAlpha         float64 // default 2
+	EWEta0          float64 // initial forcing term (default 0.3)
+	EWEtaMax        float64 // default 0.9
+	EWEtaMin        float64 // default 1e-6
+	// LineSearchMax bounds the backtracking halvings (default 8;
+	// 0 disables the line search entirely).
+	LineSearchMax int
+}
+
+// DefaultOptions returns the paper-style defaults.
+func DefaultOptions() Options {
+	return Options{
+		MaxIt: 50, RTol: 1e-8, ATol: 1e-50,
+		EisenstatWalker: true, EWGamma: 0.9, EWAlpha: 2,
+		EWEta0: 0.3, EWEtaMax: 0.9, EWEtaMin: 1e-6,
+		LineSearchMax: 8,
+	}
+}
+
+// Result reports the outcome of a nonlinear solve.
+type Result struct {
+	Converged  bool
+	Iterations int       // outer (Newton/Picard) iterations
+	KrylovIts  int       // total inner Krylov iterations
+	FNorm      float64   // final residual norm
+	FNorm0     float64   // initial residual norm
+	History    []float64 // ‖F‖ after each outer iteration (incl. initial)
+	Stagnated  bool      // line search failed to reduce ‖F‖
+}
+
+// Solve runs the inexact Newton (or Picard — determined by what Prepare
+// returns) iteration, updating x in place.
+func Solve(sys System, x la.Vec, opt Options) Result {
+	if opt.MaxIt <= 0 {
+		opt.MaxIt = 50
+	}
+	if opt.EWGamma <= 0 {
+		opt.EWGamma = 0.9
+	}
+	if opt.EWAlpha <= 0 {
+		opt.EWAlpha = 2
+	}
+	if opt.EWEtaMax <= 0 {
+		opt.EWEtaMax = 0.9
+	}
+	if opt.EWEta0 <= 0 {
+		opt.EWEta0 = 0.3
+	}
+	if opt.EWEtaMin <= 0 {
+		opt.EWEtaMin = 1e-6
+	}
+
+	n := sys.N
+	f := la.NewVec(n)
+	delta := la.NewVec(n)
+	xTrial := la.NewVec(n)
+	fTrial := la.NewVec(n)
+
+	sys.Residual(x, f)
+	res := Result{FNorm0: f.Norm2()}
+	fn := res.FNorm0
+	res.History = append(res.History, fn)
+	prevFn := fn
+	eta := sys.InnerParams.RTol
+	if eta <= 0 {
+		eta = 1e-3
+	}
+	if opt.EisenstatWalker {
+		// Eisenstat–Walker owns the forcing terms; start loose (a tight
+		// first solve of a bad linearization wastes Krylov work).
+		eta = opt.EWEta0
+	}
+
+	for it := 1; it <= opt.MaxIt; it++ {
+		if fn <= opt.ATol || fn <= opt.RTol*res.FNorm0 {
+			res.Converged = true
+			break
+		}
+		jop, pc := sys.Prepare(x)
+
+		// Eisenstat–Walker forcing (choice 2), with the standard
+		// safeguard η_k ≥ γ·η_{k−1}^α when the previous forcing was large.
+		if opt.EisenstatWalker && it > 1 {
+			etaNew := opt.EWGamma * math.Pow(fn/prevFn, opt.EWAlpha)
+			guard := opt.EWGamma * math.Pow(eta, opt.EWAlpha)
+			if guard > 0.1 && guard > etaNew {
+				etaNew = guard
+			}
+			eta = clampF(etaNew, opt.EWEtaMin, opt.EWEtaMax)
+		}
+
+		prm := sys.InnerParams
+		prm.RTol = eta
+		if prm.MaxIt <= 0 {
+			prm.MaxIt = 500
+		}
+		// Solve J δ = −F.
+		rhs := f.Clone()
+		rhs.Scale(-1)
+		delta.Zero()
+		var kres krylov.Result
+		if sys.Method == "gcr" {
+			kres = krylov.GCR(jop, pc, rhs, delta, prm, nil)
+		} else {
+			kres = krylov.FGMRES(jop, pc, rhs, delta, prm)
+		}
+		res.KrylovIts += kres.Iterations
+
+		// Backtracking line search on ‖F‖ (sufficient decrease with a
+		// tiny Armijo constant, standard for Newton–Krylov).
+		lambda := 1.0
+		accepted := false
+		for ls := 0; ls <= opt.LineSearchMax; ls++ {
+			xTrial.Copy(x)
+			xTrial.AXPY(lambda, delta)
+			sys.Residual(xTrial, fTrial)
+			ftn := fTrial.Norm2()
+			if !math.IsNaN(ftn) && ftn <= (1-1e-4*lambda)*fn {
+				x.Copy(xTrial)
+				f.Copy(fTrial)
+				prevFn = fn
+				fn = ftn
+				accepted = true
+				break
+			}
+			if opt.LineSearchMax == 0 {
+				// Line search disabled: accept the full step regardless.
+				x.Copy(xTrial)
+				f.Copy(fTrial)
+				prevFn = fn
+				fn = ftn
+				accepted = true
+				break
+			}
+			lambda *= 0.5
+		}
+		res.Iterations = it
+		if !accepted {
+			// One last chance: accept a tiny step if it at least does not
+			// blow up; otherwise report stagnation.
+			res.Stagnated = true
+			res.History = append(res.History, fn)
+			break
+		}
+		res.History = append(res.History, fn)
+	}
+	if fn <= opt.ATol || fn <= opt.RTol*res.FNorm0 {
+		res.Converged = true
+	}
+	res.FNorm = fn
+	return res
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

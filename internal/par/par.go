@@ -1,0 +1,53 @@
+// Package par provides the shared-memory worker-pool primitives used by
+// the element-parallel operator kernels and row-parallel SpMV. It is the
+// intra-node half of the paper's parallel substrate: the original pTatin3D
+// relies on MPI ranks per core; here "cores" are worker goroutines sharing
+// one address space (see DESIGN.md, substitution table).
+package par
+
+import "sync"
+
+// For partitions the half-open range [0,n) into contiguous chunks and runs
+// body(lo,hi) on nworkers goroutines. It blocks until all chunks finish.
+// With nworkers <= 1 the body is invoked once on the caller's goroutine,
+// so sequential runs have zero scheduling overhead.
+func For(nworkers, n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if nworkers <= 1 || n == 1 {
+		body(0, n)
+		return
+	}
+	if nworkers > n {
+		nworkers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + nworkers - 1) / nworkers
+	for w := 0; w < nworkers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForItems runs body(i) for every i in [0,n) distributed over nworkers
+// goroutines in contiguous chunks. Convenience wrapper over For.
+func ForItems(nworkers, n int, body func(i int)) {
+	For(nworkers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, nw := range []int{1, 2, 3, 7, 16, 100} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			hits := make([]int32, n)
+			For(nw, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("nw=%d n=%d: index %d visited %d times", nw, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForItemsSum(t *testing.T) {
+	var sum int64
+	ForItems(4, 100, func(i int) {
+		atomic.AddInt64(&sum, int64(i))
+	})
+	if sum != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum)
+	}
+}
+
+func TestForSequentialFastPath(t *testing.T) {
+	calls := 0
+	For(1, 10, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("sequential path got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("sequential path invoked %d times", calls)
+	}
+}

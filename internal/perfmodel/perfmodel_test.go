@@ -1,0 +1,90 @@
+package perfmodel
+
+import "testing"
+
+func TestPaperTableIShape(t *testing.T) {
+	rows := PaperTableI()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]OpCounts{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// The paper's central inequalities.
+	if !(byName["Tensor"].Flops < byName["Matrix-free"].Flops) {
+		t.Fatal("tensor must do fewer flops than MF")
+	}
+	if !(byName["Assembled"].BytesPerfect > 10*byName["Tensor"].BytesPerfect) {
+		t.Fatal("assembled must stream far more bytes")
+	}
+	// Matrix-free intensity is far above hardware balance (paper: 22.5–53
+	// flops/byte).
+	ai := byName["Matrix-free"]
+	if ai.ArithmeticIntensity(true) < 20 || ai.ArithmeticIntensity(false) < 10 {
+		t.Fatalf("MF intensity %v/%v too low", ai.ArithmeticIntensity(true), ai.ArithmeticIntensity(false))
+	}
+}
+
+func TestReproCountsRelations(t *testing.T) {
+	rows := ReproCounts()
+	byName := map[string]OpCounts{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if !(byName["Tensor"].Flops < byName["Matrix-free"].Flops/3) {
+		t.Fatal("tensor product must save ~3× flops over dense MF")
+	}
+	if !(byName["TensorC"].Flops < byName["Tensor"].Flops) {
+		t.Fatal("stored-coefficient variant must do fewer flops")
+	}
+	if !(byName["TensorC"].BytesPerfect > byName["Tensor"].BytesPerfect) {
+		t.Fatal("stored-coefficient variant must stream more bytes")
+	}
+	for _, r := range rows {
+		if r.Flops <= 0 || r.BytesPerfect <= 0 || r.BytesPessimal < r.BytesPerfect {
+			t.Fatalf("%s counts inconsistent: %+v", r.Name, r)
+		}
+	}
+}
+
+func TestRooflineClassification(t *testing.T) {
+	// A machine with 10 GB/s and 10 GF/s (balance 1 flop/byte): the
+	// assembled variant (AI ≈ 0.125) is memory bound, the tensor variant
+	// (AI ≈ 15+) compute bound — the paper's qualitative claim.
+	m := Machine{StreamBW: 10e9, FlopRate: 10e9}
+	rows := ReproCounts()
+	var asm, tens OpCounts
+	for _, r := range rows {
+		switch r.Name {
+		case "Assembled":
+			asm = r
+		case "Tensor":
+			tens = r
+		}
+	}
+	if !m.MemoryBound(asm, true) {
+		t.Fatal("assembled SpMV should be memory bound")
+	}
+	if m.MemoryBound(tens, true) {
+		t.Fatal("tensor kernel should be compute bound")
+	}
+	// Roofline times are consistent with the binding resource.
+	if got, want := m.RooflineTime(asm, true), asm.BytesPerfect/m.StreamBW; got != want {
+		t.Fatalf("asm roofline %v, want %v", got, want)
+	}
+	if got, want := m.RooflineTime(tens, true), tens.Flops/m.FlopRate; got != want {
+		t.Fatalf("tensor roofline %v, want %v", got, want)
+	}
+}
+
+func TestMeasurementsSane(t *testing.T) {
+	bw := MeasureStream(1<<20, 2)
+	if bw < 1e8 || bw > 1e13 {
+		t.Fatalf("triad bandwidth implausible: %e B/s", bw)
+	}
+	fl := MeasureFlops(1<<18, 2)
+	if fl < 1e7 || fl > 1e12 {
+		t.Fatalf("flop rate implausible: %e F/s", fl)
+	}
+}

@@ -1,0 +1,52 @@
+package stokes
+
+import (
+	"time"
+
+	"ptatin3d/internal/la"
+)
+
+// TimedOp wraps a linear operator, accumulating call counts and wall time.
+// It provides the "MatMult" column of Table IV.
+type TimedOp struct {
+	Inner interface {
+		N() int
+		Apply(x, y la.Vec)
+	}
+	Calls   int
+	Elapsed time.Duration
+}
+
+// N returns the wrapped dimension.
+func (t *TimedOp) N() int { return t.Inner.N() }
+
+// Apply times one operator application.
+func (t *TimedOp) Apply(x, y la.Vec) {
+	start := time.Now()
+	t.Inner.Apply(x, y)
+	t.Elapsed += time.Since(start)
+	t.Calls++
+}
+
+// Reset clears the counters.
+func (t *TimedOp) Reset() { t.Calls, t.Elapsed = 0, 0 }
+
+// TimedPC wraps a preconditioner, accumulating call counts and wall time.
+// It provides the "PC apply" column of Table IV and the coarse-solve
+// timings of Table II.
+type TimedPC struct {
+	Inner   interface{ Apply(r, z la.Vec) }
+	Calls   int
+	Elapsed time.Duration
+}
+
+// Apply times one preconditioner application.
+func (t *TimedPC) Apply(r, z la.Vec) {
+	start := time.Now()
+	t.Inner.Apply(r, z)
+	t.Elapsed += time.Since(start)
+	t.Calls++
+}
+
+// Reset clears the counters.
+func (t *TimedPC) Reset() { t.Calls, t.Elapsed = 0, 0 }

@@ -1,0 +1,287 @@
+package stokes
+
+import (
+	"fmt"
+	"time"
+
+	"ptatin3d/internal/amg"
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/krylov"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/mg"
+)
+
+// Config selects one of the paper's solver configurations.
+type Config struct {
+	// Levels is the geometric multigrid depth. Levels == 1 selects a pure
+	// algebraic preconditioner on the assembled fine operator (the SA-i /
+	// SAML-* rows of Table IV).
+	Levels int
+	// FineKind picks the fine-level operator realization: Tensor, MF, or
+	// assembled SpMV (the Asmb/MF/Tens columns of Tables I–III).
+	FineKind mg.LevelKind
+	// GalerkinAll makes every coarse operator a Galerkin product (the
+	// GMG-ii configuration); requires an assembled fine level.
+	GalerkinAll bool
+	// SmoothSteps is the Chebyshev degree: V(k,k) (paper uses 2 or 3).
+	SmoothSteps int
+	// CoarseSolver: "gamg" (one SA V-cycle, the paper's default), "lu",
+	// "bjacobi", or "asmcg" (CG preconditioned by ASM(overlap 4, ILU(0)),
+	// max 25 iterations — the rifting configuration of §V-A).
+	CoarseSolver string
+	// CoarseBlocks configures "bjacobi"; ASMSubdomains/ASMOverlap configure
+	// "asmcg".
+	CoarseBlocks  int
+	ASMSubdomains int
+	ASMOverlap    int
+	// AMGConfig selects the algebraic preconditioner when Levels == 1:
+	// "gamg", "ml" (SAML-i) or "mlstrong" (SAML-ii).
+	AMGConfig string
+	// OuterMethod: "gcr" (paper's preference — explicit residual) or
+	// "fgmres" (better numerical stability for extreme contrast).
+	OuterMethod string
+	// Params controls the outer Krylov iteration (rtol 1e-5 in the paper).
+	Params krylov.Params
+	// Workers is the intra-node parallel width ("cores").
+	Workers int
+	// CoeffCoarsen fills coarse-level coefficients (see mg.CoarsenProblems).
+	CoeffCoarsen func(level int, p *fem.Problem)
+	// VerticalAxis is the gravity direction (for residual monitoring).
+	VerticalAxis int
+}
+
+// DefaultConfig returns the paper's production configuration: 3 levels,
+// matrix-free tensor fine level, V(2,2), Galerkin coarsest operator, one
+// GAMG V-cycle as coarse solver, GCR outer to rtol 1e-5 (§IV-A).
+func DefaultConfig() Config {
+	prm := krylov.DefaultParams()
+	prm.RTol = 1e-5
+	prm.MaxIt = 500
+	prm.Restart = 50
+	return Config{
+		Levels:       3,
+		FineKind:     mg.MatrixFreeTensor,
+		SmoothSteps:  2,
+		CoarseSolver: "gamg",
+		OuterMethod:  "gcr",
+		Params:       prm,
+		Workers:      1,
+		VerticalAxis: 2,
+	}
+}
+
+// Solver is a configured coupled Stokes solver.
+type Solver struct {
+	Cfg  Config
+	Prob *fem.Problem
+	Op   *Op
+	C    *fem.Coupling
+	Mp   *fem.PressureMass
+	FS   *FieldSplit
+	MG   *mg.MG  // nil for pure-AMG configurations
+	SA   *amg.SA // the coarse/standalone algebraic component, if any
+
+	// Instrumentation (Table IV columns).
+	SetupTime   time.Duration
+	MatMult     *TimedOp
+	PCApply     *TimedPC
+	CoarseApply *TimedPC // wraps the coarse-grid solver inside MG
+}
+
+// Monitor records the per-iteration field residual norms of a GCR solve —
+// the data behind Figure 2 (vertical momentum vs. pressure residual).
+type Monitor struct {
+	Iter     []int
+	Momentum []float64 // full velocity residual norm
+	Vertical []float64 // vertical momentum component
+	Pressure []float64
+}
+
+// New builds a Solver for the problem's current coefficients/geometry.
+func New(prob *fem.Problem, cfg Config) (*Solver, error) {
+	start := time.Now()
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	prob.Workers = cfg.Workers
+	s := &Solver{Cfg: cfg, Prob: prob}
+	s.C = fem.NewCoupling(prob)
+	s.Mp = fem.NewPressureMass(prob)
+
+	// Fine-level viscous operator for the coupled matvec.
+	var auu fem.Operator
+	switch cfg.FineKind {
+	case mg.MatrixFreeTensor:
+		auu = fem.NewTensor(prob)
+	case mg.MatrixFreeRef:
+		auu = fem.NewMF(prob)
+	default:
+		// Assembled SpMV for the Krylov operator; residuals still need a
+		// matrix-free operator, so keep one around via a hybrid wrapper.
+		auu = &asmWithResidual{AsmOp: fem.NewAsm(prob), mf: fem.NewTensor(prob)}
+	}
+	s.Op = NewOp(prob, auu, s.C)
+
+	// Viscous-block preconditioner.
+	var innerU krylov.Preconditioner
+	if cfg.Levels <= 1 {
+		a := viscousCSR(auu, prob)
+		opt := amg.GAMGLike()
+		switch cfg.AMGConfig {
+		case "ml":
+			opt = amg.MLLike()
+		case "mlstrong":
+			opt = amg.MLStrongLike()
+		}
+		opt.SmoothSteps = max(1, cfg.SmoothSteps)
+		sa, err := amg.New(a, 3, amg.RigidBodyModes(prob.DA.Coords, prob.BC.Mask), opt)
+		if err != nil {
+			return nil, fmt.Errorf("stokes: AMG setup: %w", err)
+		}
+		s.SA = sa
+		innerU = sa
+	} else {
+		probs := mg.CoarsenProblems(prob, cfg.Levels, cfg.CoeffCoarsen)
+		kinds := make([]mg.LevelKind, cfg.Levels)
+		kinds[0] = cfg.FineKind
+		for l := 1; l < cfg.Levels; l++ {
+			switch {
+			case cfg.GalerkinAll:
+				kinds[l] = mg.AssembledGalerkin
+			case l == 1:
+				kinds[l] = mg.AssembledRedisc
+			default:
+				kinds[l] = mg.AssembledGalerkin
+			}
+		}
+		if cfg.GalerkinAll && cfg.FineKind != mg.AssembledRedisc {
+			return nil, fmt.Errorf("stokes: GalerkinAll requires an assembled fine level")
+		}
+		gmg, err := mg.Build(probs, mg.Options{
+			Kinds: kinds, SmoothSteps: cfg.SmoothSteps, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stokes: GMG setup: %w", err)
+		}
+		coarse, sa, err := buildCoarseSolver(gmg, probs[len(probs)-1], cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.SA = sa
+		s.CoarseApply = &TimedPC{Inner: coarse}
+		gmg.CoarseSolve = s.CoarseApply
+		s.MG = gmg
+		innerU = gmg
+	}
+	s.FS = NewFieldSplit(s.Op, innerU, s.Mp)
+	s.MatMult = &TimedOp{Inner: s.Op}
+	s.PCApply = &TimedPC{Inner: s.FS}
+	s.SetupTime = time.Since(start)
+	return s, nil
+}
+
+// buildCoarseSolver instantiates the coarsest-level solver.
+func buildCoarseSolver(gmg *mg.MG, coarseProb *fem.Problem, cfg Config) (krylov.Preconditioner, *amg.SA, error) {
+	last := gmg.Levels[len(gmg.Levels)-1]
+	if last.CSR == nil {
+		return nil, nil, fmt.Errorf("stokes: coarsest GMG level must be assembled")
+	}
+	switch cfg.CoarseSolver {
+	case "", "gamg":
+		opt := amg.GAMGLike()
+		opt.SmoothSteps = max(1, cfg.SmoothSteps)
+		sa, err := amg.New(last.CSR, 3, amg.RigidBodyModes(coarseProb.DA.Coords, coarseProb.BC.Mask), opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stokes: GAMG coarse solver: %w", err)
+		}
+		return sa, sa, nil
+	case "lu":
+		bj, err := krylov.NewBlockJacobi(last.CSR, 1)
+		return bj, nil, err
+	case "bjacobi":
+		nb := cfg.CoarseBlocks
+		if nb <= 0 {
+			nb = 8
+		}
+		bj, err := krylov.NewBlockJacobi(last.CSR, nb)
+		return bj, nil, err
+	case "asmcg":
+		nsub := cfg.ASMSubdomains
+		if nsub <= 0 {
+			nsub = 8
+		}
+		ov := cfg.ASMOverlap
+		if ov <= 0 {
+			ov = 4
+		}
+		asmPC, err := krylov.NewASM(last.CSR, krylov.ASMOptions{Subdomains: nsub, Overlap: ov})
+		if err != nil {
+			return nil, nil, fmt.Errorf("stokes: ASM coarse solver: %w", err)
+		}
+		inner := &krylov.InnerKrylov{
+			A: krylov.CSROp{A: last.CSR}, M: asmPC, Method: "cg",
+			Prm: krylov.Params{RTol: 1e-4, ATol: 1e-300, MaxIt: 25},
+		}
+		return inner, nil, nil
+	}
+	return nil, nil, fmt.Errorf("stokes: unknown coarse solver %q", cfg.CoarseSolver)
+}
+
+// viscousCSR obtains the assembled viscous block backing an operator, or
+// assembles one.
+func viscousCSR(auu fem.Operator, prob *fem.Problem) *la.CSR {
+	if h, ok := auu.(*asmWithResidual); ok {
+		return h.AsmOp.A
+	}
+	return fem.AssembleViscous(prob)
+}
+
+// Solve performs one linear Stokes solve in residual-correction form: the
+// state x = [u;p] (with boundary values applied to u) is improved so that
+// J·x ≈ [bu;0] to the configured tolerance of the *unpreconditioned*
+// residual. A non-nil monitor collects the Figure-2 residual histories.
+func (s *Solver) Solve(x, bu la.Vec, mon *Monitor) krylov.Result {
+	n := s.Op.N()
+	f := la.NewVec(n)
+	s.Op.Residual(x, bu, f)
+	f.Scale(-1)
+	delta := la.NewVec(n)
+	var cb func(it int, r la.Vec)
+	if mon != nil {
+		cb = func(it int, r la.Vec) {
+			uN, vN, pN := s.Op.FieldNorms(r, s.Cfg.VerticalAxis)
+			mon.Iter = append(mon.Iter, it)
+			mon.Momentum = append(mon.Momentum, uN)
+			mon.Vertical = append(mon.Vertical, vN)
+			mon.Pressure = append(mon.Pressure, pN)
+		}
+	}
+	var res krylov.Result
+	switch s.Cfg.OuterMethod {
+	case "fgmres":
+		res = krylov.FGMRES(s.MatMult, s.PCApply, f, delta, s.Cfg.Params)
+	default:
+		res = krylov.GCR(s.MatMult, s.PCApply, f, delta, s.Cfg.Params, cb)
+	}
+	x.AXPY(1, delta)
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// asmWithResidual pairs an assembled SpMV operator (used in the Krylov
+// matvec) with a matrix-free operator for residual evaluation.
+type asmWithResidual struct {
+	*fem.AsmOp
+	mf *fem.TensorOp
+}
+
+// ApplyFreeRows delegates residual-form application to the matrix-free
+// twin (assembled matrices drop constrained columns, so they cannot
+// evaluate residuals of boundary-valued states).
+func (h *asmWithResidual) ApplyFreeRows(u, y la.Vec) { h.mf.ApplyFreeRows(u, y) }

@@ -1,0 +1,84 @@
+package stokes
+
+import (
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/krylov"
+	"ptatin3d/internal/la"
+)
+
+// Uzawa is the classical stationary iteration of the Schur-complement-
+// reduction family that the paper cites as its well-known member
+// (§III-B): accurate viscous solves alternate with preconditioned
+// pressure updates,
+//
+//	A·u_{k+1} = f − G·p_k
+//	p_{k+1}   = p_k + ω·M_p⁻¹·(D·u_{k+1} − g),
+//
+// with the viscosity-scaled pressure mass matrix as the (SPD) Schur
+// preconditioner. Reliable but expensive — every iteration contains a
+// full viscous solve — exactly the trade the paper describes for
+// SCR-type methods.
+type Uzawa struct {
+	Op     *Op
+	InnerU krylov.Preconditioner // preconditioner for the viscous solves
+	Mp     *fem.PressureMass
+	// Omega is the relaxation parameter (1 is appropriate with the
+	// spectrally equivalent mass preconditioner).
+	Omega float64
+	// InnerParams controls the viscous solves; OuterParams the pressure
+	// iteration (MaxIt, RTol on the continuity residual).
+	InnerParams krylov.Params
+	OuterParams krylov.Params
+}
+
+// NewUzawa builds the iteration with standard parameters.
+func NewUzawa(op *Op, innerU krylov.Preconditioner, mp *fem.PressureMass) *Uzawa {
+	ip := krylov.DefaultParams()
+	ip.RTol = 1e-8
+	ip.MaxIt = 400
+	opar := krylov.DefaultParams()
+	opar.RTol = 1e-6
+	opar.MaxIt = 200
+	return &Uzawa{Op: op, InnerU: innerU, Mp: mp, Omega: 1, InnerParams: ip, OuterParams: opar}
+}
+
+// Solve iterates on [u;p] for the right-hand side [f;g] packed in b,
+// starting from x (updated in place). Convergence is measured on the
+// continuity residual ‖D·u − g‖.
+func (uz *Uzawa) Solve(b, x la.Vec) krylov.Result {
+	f, g := uz.Op.Split(b)
+	u, p := uz.Op.Split(x)
+	nu := uz.Op.Nu
+	np := uz.Op.Np
+
+	rhs := la.NewVec(nu)
+	du := la.NewVec(np)
+	dp := la.NewVec(np)
+	var res krylov.Result
+	for it := 1; it <= uz.OuterParams.MaxIt; it++ {
+		// Viscous solve: A u = f − G p.
+		rhs.Copy(f)
+		neg := la.NewVec(nu)
+		uz.Op.C.ApplyGAdd(p, neg)
+		rhs.AXPY(-1, neg)
+		krylov.FGMRES(uOnly{uz.Op}, uz.InnerU, rhs, u, uz.InnerParams)
+		// Continuity residual and pressure update.
+		uz.Op.C.ApplyD(u, du)
+		for i := range du {
+			du[i] -= g[i]
+		}
+		rn := du.Norm2()
+		res.Iterations = it
+		if it == 1 {
+			res.Residual0 = rn
+		}
+		res.Residual = rn
+		if rn <= uz.OuterParams.ATol || rn <= uz.OuterParams.RTol*res.Residual0 {
+			res.Converged = true
+			break
+		}
+		uz.Mp.ApplyInv(du, dp)
+		p.AXPY(uz.Omega, dp)
+	}
+	return res
+}
