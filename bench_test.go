@@ -25,7 +25,9 @@ import (
 	"ptatin3d/internal/mesh"
 	"ptatin3d/internal/mg"
 	"ptatin3d/internal/model"
+	"ptatin3d/internal/par"
 	"ptatin3d/internal/stokes"
+	"ptatin3d/internal/telemetry"
 	"ptatin3d/internal/thermal"
 )
 
@@ -267,3 +269,102 @@ func workerBench(b *testing.B, workers int) {
 func BenchmarkScaling_Workers1(b *testing.B) { workerBench(b, 1) }
 func BenchmarkScaling_Workers2(b *testing.B) { workerBench(b, 2) }
 func BenchmarkScaling_Workers4(b *testing.B) { workerBench(b, 4) }
+
+// --- Telemetry overhead ------------------------------------------------
+//
+// The contract (DESIGN.md): with telemetry disabled every instrument is a
+// nil pointer and recording degenerates to a nil check — no locks, no
+// clock reads, no allocations on the hot path. These benchmarks pin that
+// down against the enabled cost.
+
+func BenchmarkTelemetry_CounterDisabled(b *testing.B) {
+	var c *telemetry.Counter // nil = disabled
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTelemetry_CounterEnabled(b *testing.B) {
+	c := telemetry.New().Root().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTelemetry_TimerDisabled(b *testing.B) {
+	var t *telemetry.Timer // nil = disabled: Start skips the clock read
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Stop(t.Start())
+	}
+}
+
+func BenchmarkTelemetry_TimerEnabled(b *testing.B) {
+	t := telemetry.New().Root().Timer("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Stop(t.Start())
+	}
+}
+
+// parForBench measures the worker-pool dispatch path, where the occupancy
+// probe is the per-call telemetry cost.
+func parForBench(b *testing.B, enabled bool) {
+	if enabled {
+		par.SetTelemetry(telemetry.New().Root().Child("par"))
+	} else {
+		par.SetTelemetry(nil)
+	}
+	defer par.SetTelemetry(nil)
+	sink := make([]float64, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		par.For(4, len(sink), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				sink[j] += 1
+			}
+		})
+	}
+}
+
+func BenchmarkTelemetry_ParForDisabled(b *testing.B) { parForBench(b, false) }
+func BenchmarkTelemetry_ParForEnabled(b *testing.B)  { parForBench(b, true) }
+
+// solveBench runs the production GMG Stokes solve with and without the
+// full telemetry stack attached — the end-to-end overhead check.
+func telemetrySolveBench(b *testing.B, enabled bool) {
+	p := benchProblem(8)
+	cfg := stokes.DefaultConfig()
+	if enabled {
+		cfg.Telemetry = telemetry.New().Root()
+	}
+	p.Gravity = [3]float64{0, 0, -9.8}
+	p.SetCoefficientsFunc(
+		func(x, y, z float64) float64 { return math.Exp(2 * math.Sin(3*x) * math.Cos(2*y)) },
+		func(x, y, z float64) float64 { return 1 + 0.5*math.Sin(math.Pi*z) },
+	)
+	cfg.CoeffCoarsen = mg.FuncCoeffCoarsener(
+		func(x, y, z float64) float64 { return math.Exp(2 * math.Sin(3*x) * math.Cos(2*y)) },
+		func(x, y, z float64) float64 { return 1 + 0.5*math.Sin(math.Pi*z) },
+	)
+	s, err := stokes.New(p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bu := la.NewVec(p.DA.NVelDOF())
+	fem.MomentumRHS(p, bu)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := la.NewVec(s.Op.N())
+		res := s.Solve(x, bu, nil)
+		if !res.Converged {
+			b.Fatal("solve failed")
+		}
+	}
+}
+
+func BenchmarkTelemetry_StokesSolveDisabled(b *testing.B) { telemetrySolveBench(b, false) }
+func BenchmarkTelemetry_StokesSolveEnabled(b *testing.B)  { telemetrySolveBench(b, true) }

@@ -100,8 +100,8 @@ func main() {
 		}
 		fmt.Printf("%-8s %5d %12.3f %12.3f %12.3f %12.3f\n",
 			cf.name, res.Iterations,
-			s.MatMult.Elapsed.Seconds(), s.SetupTime.Seconds(),
-			s.PCApply.Elapsed.Seconds(), solve)
+			s.MatMult.Elapsed().Seconds(), s.SetupTime.Seconds(),
+			s.PCApply.Elapsed().Seconds(), solve)
 		if cf.name == "GMG-i" {
 			gmgiTime = solve
 		} else if gmgiTime > 0 {

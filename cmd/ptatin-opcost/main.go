@@ -5,26 +5,48 @@
 //
 // Usage:
 //
-//	ptatin-opcost [-m 16] [-workers 4] [-reps 5]
+//	ptatin-opcost [-m 16] [-workers 4] [-reps 5] [-telemetry] [-cpuprofile out.pprof]
+//
+// With -telemetry the tool additionally runs a multigrid-preconditioned
+// Stokes solve on the same deformed mesh and emits the telemetry registry
+// twice: a Table-IV-shaped per-component breakdown (calls / wall time /
+// time per call, including per-MG-level smoother and operator counts) and
+// the full JSON snapshot.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math"
+	"os"
 	"time"
 
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mesh"
+	"ptatin3d/internal/mg"
+	"ptatin3d/internal/par"
 	"ptatin3d/internal/perfmodel"
+	"ptatin3d/internal/stokes"
+	"ptatin3d/internal/telemetry"
 )
 
 func main() {
 	m := flag.Int("m", 16, "elements per direction")
 	workers := flag.Int("workers", 1, "worker goroutines")
 	reps := flag.Int("reps", 5, "timing repetitions (best-of)")
+	telFlag := flag.Bool("telemetry", false, "run an instrumented MG Stokes solve and emit the telemetry table + JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
 
 	da := mesh.New(*m, *m, *m, 0, 1, 0, 1, 0, 1)
 	da.Deform(func(x, y, z float64) (float64, float64, float64) {
@@ -122,4 +144,62 @@ func main() {
 	}
 	fmt.Println("\nShape check (paper): Tensor < Matrix-free < Assembled in time;")
 	fmt.Println("assembled SpMV memory-bound, matrix-free kernels compute-bound.")
+
+	if *telFlag {
+		runTelemetrySolve(p, *workers)
+	}
+}
+
+// runTelemetrySolve performs one multigrid-preconditioned Stokes solve on
+// the Table-I mesh with the full telemetry stack enabled and emits the
+// registry as a Table-IV-shaped breakdown plus the JSON snapshot.
+func runTelemetrySolve(p *fem.Problem, workers int) {
+	reg := telemetry.New()
+	par.SetTelemetry(reg.Root().Child("par"))
+	defer par.SetTelemetry(nil)
+
+	// Give the Table-I problem a nontrivial body force so the solve has a
+	// real RHS: variable density under vertical gravity.
+	eta := func(x, y, z float64) float64 {
+		return math.Exp(2 * math.Sin(3*x) * math.Cos(2*y))
+	}
+	rho := func(x, y, z float64) float64 {
+		return 1 + 0.5*math.Sin(math.Pi*x)*math.Sin(math.Pi*y)*math.Sin(math.Pi*z)
+	}
+	p.Gravity = [3]float64{0, 0, -9.8}
+	p.SetCoefficientsFunc(eta, rho)
+
+	cfg := stokes.DefaultConfig()
+	cfg.Workers = workers
+	cfg.Telemetry = reg.Root()
+	cfg.CoeffCoarsen = mg.FuncCoeffCoarsener(eta, rho)
+	// Clamp MG depth to what the mesh supports (each level halves m).
+	mEl := p.DA.Mx
+	levels := 1
+	for c := mEl; c%2 == 0 && c > 2 && levels < 3; c /= 2 {
+		levels++
+	}
+	if levels < 2 {
+		fmt.Fprintf(os.Stderr, "telemetry solve skipped: m=%d cannot coarsen\n", mEl)
+		return
+	}
+	cfg.Levels = levels
+
+	s, err := stokes.New(p, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bu := la.NewVec(p.DA.NVelDOF())
+	fem.MomentumRHS(p, bu)
+	x := la.NewVec(s.Op.N())
+	res := s.Solve(x, bu, nil)
+
+	fmt.Printf("\n## Instrumented MG Stokes solve (%d levels): converged=%v its=%d rel=%.2e\n",
+		levels, res.Converged, res.Iterations, res.Residual/res.Residual0)
+	fmt.Println("\n## Telemetry breakdown (Table-IV shape)")
+	reg.WriteTable(os.Stdout)
+	fmt.Println("\n## Telemetry (JSON)")
+	if err := reg.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

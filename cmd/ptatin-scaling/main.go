@@ -19,13 +19,20 @@ import (
 	"strings"
 	"time"
 
+	"os"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mg"
+
 	"ptatin3d/internal/model"
+	"ptatin3d/internal/par"
 	"ptatin3d/internal/perfmodel"
 	"ptatin3d/internal/stokes"
+	"ptatin3d/internal/telemetry"
 )
+
+// telReg is the run-wide telemetry registry, nil unless -telemetry is set.
+var telReg *telemetry.Registry
 
 func parseInts(s string) []int {
 	var out []int
@@ -43,7 +50,22 @@ func main() {
 	grids := flag.String("grids", "8,12,16", "comma-separated grid sizes (elements/direction)")
 	cores := flag.String("cores", "1,2,4", "comma-separated worker counts")
 	deta := flag.Float64("deta", 100, "viscosity contrast")
+	telFlag := flag.Bool("telemetry", false, "emit the per-run telemetry table + JSON after the sweep")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	if *telFlag {
+		telReg = telemetry.New()
+		par.SetTelemetry(telReg.Root().Child("par"))
+		defer par.SetTelemetry(nil)
+	}
 
 	counts := map[string]perfmodel.OpCounts{}
 	for _, c := range perfmodel.ReproCounts() {
@@ -74,6 +96,15 @@ func main() {
 	}
 	fmt.Println("\n# Shape check (paper): MF uniformly faster than Asmb; Tens uniformly")
 	fmt.Println("# faster than MF; E/C/s highest for Tens; iterations roughly flat in cores.")
+
+	if telReg != nil {
+		fmt.Println("\n# Telemetry breakdown (accumulated over the sweep)")
+		telReg.WriteTable(os.Stdout)
+		fmt.Println("\n# Telemetry (JSON)")
+		if err := telReg.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func runOne(g, workers int, deta float64, kind mg.LevelKind, label string, oc perfmodel.OpCounts) {
@@ -88,6 +119,9 @@ func runOne(g, workers int, deta float64, kind mg.LevelKind, label string, oc pe
 	cfg.Workers = workers
 	cfg.FineKind = kind
 	cfg.Params.MaxIt = 1000
+	if telReg != nil {
+		cfg.Telemetry = telReg.Root().Child(fmt.Sprintf("g%d_w%d_%s", g, workers, label))
+	}
 	cfg.CoeffCoarsen = mdl.CoeffCoarsener()
 
 	setupStart := time.Now()
@@ -109,7 +143,7 @@ func runOne(g, workers int, deta float64, kind mg.LevelKind, label string, oc pe
 	}
 	var coarseApply time.Duration
 	if s.CoarseApply != nil {
-		coarseApply = s.CoarseApply.Elapsed
+		coarseApply = s.CoarseApply.Elapsed()
 	}
 	nel := float64(g * g * g)
 	ecs := nel / float64(workers) / solve

@@ -23,7 +23,9 @@ import (
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/model"
+	"ptatin3d/internal/par"
 	"ptatin3d/internal/stokes"
+	"ptatin3d/internal/telemetry"
 )
 
 func main() {
@@ -35,10 +37,35 @@ func main() {
 	stream := flag.Bool("streamlines", false, "write Figure 1 VTK outputs")
 	steps := flag.Int("steps", 0, "time steps to advance")
 	outdir := flag.String("outdir", ".", "output directory")
+	telFlag := flag.Bool("telemetry", false, "emit the telemetry table + JSON on stderr after the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	var reg *telemetry.Registry
+	if *telFlag {
+		reg = telemetry.New()
+		par.SetTelemetry(reg.Root().Child("par"))
+		defer par.SetTelemetry(nil)
+		// Table + JSON go to stderr so the CSV/step output stays clean.
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\n# Telemetry breakdown")
+			reg.WriteTable(os.Stderr)
+			fmt.Fprintln(os.Stderr, "\n# Telemetry (JSON)")
+			if err := reg.WriteJSON(os.Stderr); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
 	if *fig2 {
-		runFig2(*m, *nc, *rc, *workers)
+		runFig2(*m, *nc, *rc, *workers, reg)
 		return
 	}
 
@@ -48,6 +75,9 @@ func main() {
 	o.Rc = *rc
 	o.Workers = *workers
 	mdl := model.NewSinker(o)
+	if reg != nil {
+		mdl.Telemetry = reg.Root().Child("model")
+	}
 
 	if *stream {
 		if _, err := mdl.SolveStokes(); err != nil {
@@ -77,7 +107,7 @@ func main() {
 
 // runFig2 reproduces Figure 2: residual equilibration and convergence as
 // a function of the viscosity contrast.
-func runFig2(m, nc int, rc float64, workers int) {
+func runFig2(m, nc int, rc float64, workers int, reg *telemetry.Registry) {
 	fmt.Println("# Figure 2 reproduction: vertical momentum vs pressure residual")
 	fmt.Println("# columns: delta_eta, iteration, momentum_resid, vertical_resid, pressure_resid")
 	for _, deta := range []float64{1, 1e2, 1e4} {
@@ -97,6 +127,9 @@ func runFig2(m, nc int, rc float64, workers int) {
 		mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 		cfg = mdl.Cfg
 		cfg.Params.MaxIt = 1000
+		if reg != nil {
+			cfg.Telemetry = reg.Root().Child(fmt.Sprintf("deta%g", deta))
+		}
 
 		s, err := stokes.New(mdl.Prob, withModelCoarsener(mdl, cfg))
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 
 	"ptatin3d/internal/krylov"
 	"ptatin3d/internal/la"
+	"ptatin3d/internal/telemetry"
 )
 
 // Options configures the smoothed-aggregation setup.
@@ -76,6 +77,10 @@ type level struct {
 	smoother krylov.Preconditioner
 	smooth   func(b, x la.Vec, zero bool)
 	r, e, b  la.Vec
+
+	// Cached telemetry handles; nil (inert) when telemetry is off.
+	smoothT, opT     *telemetry.Timer
+	smoothC, opCount *telemetry.Counter
 }
 
 // SA is the assembled smoothed-aggregation hierarchy. It satisfies
@@ -88,6 +93,37 @@ type SA struct {
 	OperatorComplexity float64
 	NumLevels          int
 	SetupStats         []LevelStats
+
+	cycles  *telemetry.Counter
+	coarseT *telemetry.Timer
+	coarseC *telemetry.Counter
+}
+
+// SetTelemetry installs per-level instrumentation under sc, mirroring
+// mg.MG.SetTelemetry: child scopes level0…levelN with "smooth"/"op" timers
+// and "smooth_applies"/"op_applies" counters, a "coarse" child with a
+// "solve" timer and "solves" counter, and a "cycles" counter on sc.
+// Handles are cached; the cycle hot path never takes the scope lock.
+// Passing nil uninstalls.
+func (sa *SA) SetTelemetry(sc *telemetry.Scope) {
+	for l, lev := range sa.levels {
+		if sc == nil {
+			lev.smoothT, lev.opT, lev.smoothC, lev.opCount = nil, nil, nil, nil
+			continue
+		}
+		lsc := sc.Child(fmt.Sprintf("level%d", l))
+		lev.smoothT = lsc.Timer("smooth")
+		lev.opT = lsc.Timer("op")
+		lev.smoothC = lsc.Counter("smooth_applies")
+		lev.opCount = lsc.Counter("op_applies")
+	}
+	if sc == nil {
+		sa.cycles, sa.coarseT, sa.coarseC = nil, nil, nil
+		return
+	}
+	sa.cycles = sc.Counter("cycles")
+	sa.coarseT = sc.Child("coarse").Timer("solve")
+	sa.coarseC = sc.Child("coarse").Counter("solves")
 }
 
 // LevelStats reports per-level sizes for diagnostics and tests.
@@ -300,7 +336,11 @@ func (sa *SA) Apply(r, z la.Vec) {
 
 func (sa *SA) vcycle(l int, b, x la.Vec, zero bool) {
 	lev := sa.levels[l]
+	if l == 0 {
+		sa.cycles.Inc()
+	}
 	if l == len(sa.levels)-1 {
+		st := sa.coarseT.Start()
 		if zero {
 			sa.coarse.Apply(b, x)
 		} else {
@@ -309,10 +349,18 @@ func (sa *SA) vcycle(l int, b, x la.Vec, zero bool) {
 			sa.coarse.Apply(lev.r, lev.e)
 			x.AXPY(1, lev.e)
 		}
+		sa.coarseT.Stop(st)
+		sa.coarseC.Inc()
 		return
 	}
+	st := lev.smoothT.Start()
 	lev.smooth(b, x, zero)
+	lev.smoothT.Stop(st)
+	lev.smoothC.Inc()
+	st = lev.opT.Start()
 	lev.a.MulVec(x, lev.r)
+	lev.opT.Stop(st)
+	lev.opCount.Inc()
 	lev.r.AYPX(-1, b)
 	next := sa.levels[l+1]
 	// Restrict: b_c = Pᵀ r.
@@ -322,7 +370,10 @@ func (sa *SA) vcycle(l int, b, x la.Vec, zero bool) {
 	sa.vcycle(l+1, next.b, next.e, true)
 	// Prolong and correct.
 	pmulAdd(pt, next.e, x)
+	st = lev.smoothT.Start()
 	lev.smooth(b, x, false)
+	lev.smoothT.Stop(st)
+	lev.smoothC.Inc()
 }
 
 // restrictT computes rc = Pᵀ·rf without materializing the transpose.

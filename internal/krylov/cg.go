@@ -14,6 +14,7 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 	p := la.NewVec(n)
 	ap := la.NewVec(n)
 
+	telStart := prm.begin()
 	a.Apply(x, r)
 	r.AYPX(-1, b) // r = b - A·x
 	res := Result{Residual0: r.Norm2()}
@@ -22,6 +23,7 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 	if converged(prm, rn, res.Residual0) {
 		res.Converged = true
 		res.Residual = rn
+		res.finish(prm, telStart)
 		return res
 	}
 	m.Apply(r, z)
@@ -55,6 +57,7 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 		p.AYPX(beta, z)
 	}
 	res.Residual = rn
+	res.finish(prm, telStart)
 	return res
 }
 
@@ -63,6 +66,7 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 // classical "apply n V-cycles" solver.
 func Richardson(a Op, m Preconditioner, b, x la.Vec, omega float64, prm Params) Result {
 	n := a.N()
+	telStart := prm.begin()
 	r := la.NewVec(n)
 	z := la.NewVec(n)
 	a.Apply(x, r)
@@ -91,5 +95,6 @@ func Richardson(a Op, m Preconditioner, b, x la.Vec, omega float64, prm Params) 
 		res.Converged = true
 	}
 	res.Residual = rn
+	res.finish(prm, telStart)
 	return res
 }

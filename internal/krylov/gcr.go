@@ -15,6 +15,7 @@ import "ptatin3d/internal/la"
 func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, r la.Vec)) Result {
 	n := a.N()
 	mr := prm.restart()
+	telStart := prm.begin()
 	r := la.NewVec(n)
 	a.Apply(x, r)
 	r.AYPX(-1, b)
@@ -27,6 +28,7 @@ func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, 
 	if converged(prm, rn, res.Residual0) {
 		res.Converged = true
 		res.Residual = rn
+		res.finish(prm, telStart)
 		return res
 	}
 
@@ -77,5 +79,6 @@ func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, 
 		qs = append(qs, q.Clone())
 	}
 	res.Residual = rn
+	res.finish(prm, telStart)
 	return res
 }

@@ -15,6 +15,7 @@ import (
 func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) Result {
 	n := a.N()
 	mr := prm.restart()
+	telStart := prm.begin()
 
 	r := la.NewVec(n)
 	w := la.NewVec(n)
@@ -26,6 +27,7 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 	if converged(prm, rn, res.Residual0) || rn == 0 {
 		res.Converged = true
 		res.Residual = rn
+		res.finish(prm, telStart)
 		return res
 	}
 
@@ -145,6 +147,7 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 		}
 	}
 	res.Residual = rn
+	res.finish(prm, telStart)
 	return res
 }
 

@@ -10,7 +10,12 @@
 // outer preconditioner.
 package krylov
 
-import "ptatin3d/internal/la"
+import (
+	"time"
+
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/telemetry"
+)
 
 // Op is the abstract linear operator y = A·x. fem's operator variants and
 // the coupled Stokes operator satisfy it.
@@ -65,6 +70,14 @@ type Params struct {
 	MaxIt   int     // maximum iterations
 	Restart int     // restart length for GMRES/FGMRES/GCR (0 = 30)
 	History bool    // record per-iteration residual norms
+
+	// Telemetry, when non-nil, receives structured solve instrumentation:
+	// a "residual" series with one sample per recorded residual norm, a
+	// "solve" timer, "solves"/"iterations"/"converged" counters and
+	// "initial_residual"/"final_residual" gauges. Repeated solves with the
+	// same scope accumulate; give each solve its own child scope to keep
+	// traces separate. Nil disables everything at nil-check cost.
+	Telemetry *telemetry.Scope
 }
 
 // DefaultParams returns the package defaults: rtol 1e-5 (the paper's
@@ -94,6 +107,29 @@ func (r *Result) record(p Params, rn float64) {
 	if p.History {
 		r.History = append(r.History, rn)
 	}
+	p.Telemetry.Series("residual").Append(rn)
+}
+
+// begin stamps the start of an instrumented solve. The returned time is
+// zero (no clock read) when telemetry is off.
+func (p Params) begin() time.Time {
+	return p.Telemetry.Timer("solve").Start()
+}
+
+// finish records the solve-level telemetry for a completed iteration.
+func (r *Result) finish(p Params, start time.Time) {
+	sc := p.Telemetry
+	if sc == nil {
+		return
+	}
+	sc.Timer("solve").Stop(start)
+	sc.Counter("solves").Inc()
+	sc.Counter("iterations").Add(int64(r.Iterations))
+	if r.Converged {
+		sc.Counter("converged").Inc()
+	}
+	sc.Gauge("initial_residual").Set(r.Residual0)
+	sc.Gauge("final_residual").Set(r.Residual)
 }
 
 // converged implements the combined rtol/atol test.

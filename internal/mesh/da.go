@@ -252,6 +252,21 @@ func (bc *BC) FreeSlipBox(da *DA, faces ...Face) {
 	}
 }
 
+// SetFaceFunc constrains all three velocity components on every node of
+// face f to the values of fn at that node's coordinates — inhomogeneous
+// Dirichlet data, as needed by manufactured-solution (MMS) tests.
+func (bc *BC) SetFaceFunc(da *DA, f Face, fn func(x, y, z float64) (u, v, w float64)) {
+	da.ForEachFaceNode(f, func(n, i, j, k int) {
+		x, y, z := da.NodeCoords(n)
+		u, v, w := fn(x, y, z)
+		vals := [3]float64{u, v, w}
+		for c := 0; c < 3; c++ {
+			bc.Mask[3*n+c] = true
+			bc.Val[3*n+c] = vals[c]
+		}
+	})
+}
+
 // NumConstrained returns the number of constrained velocity dofs.
 func (bc *BC) NumConstrained() int {
 	n := 0

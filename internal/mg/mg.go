@@ -7,6 +7,7 @@ import (
 	"ptatin3d/internal/krylov"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mesh"
+	"ptatin3d/internal/telemetry"
 )
 
 // LevelKind selects how a level's operator is realized (the central
@@ -61,6 +62,57 @@ type MG struct {
 	// Chebyshev bound on every extra visit, so V-cycles are the right
 	// production pairing (see TestWCycle).
 	Gamma int
+
+	tel     []levelTel         // per-level instrument handles; empty when telemetry off
+	cycles  *telemetry.Counter // V-cycles started
+	coarseT *telemetry.Timer   // coarse-solve wall time
+	coarseC *telemetry.Counter // coarse-solve applications
+}
+
+// levelTel caches one level's telemetry handles. The zero value (all nil)
+// records nothing: every instrument is nil-safe, so the disabled cost in
+// the cycle is a handful of nil checks.
+type levelTel struct {
+	smooth, op, restrict, prolong *telemetry.Timer
+	smooths, ops                  *telemetry.Counter
+}
+
+// lt returns the cached handles for level l, or inert handles when
+// telemetry is off.
+func (m *MG) lt(l int) levelTel {
+	if l < len(m.tel) {
+		return m.tel[l]
+	}
+	return levelTel{}
+}
+
+// SetTelemetry installs per-level instrumentation under sc: child scopes
+// level0…levelN each with "smooth"/"op"/"restrict"/"prolong" timers and
+// "smooth_applies"/"op_applies" counters, a "coarse" child with a "solve"
+// timer and "solves" counter, and a "cycles" counter on sc itself. Handles
+// are cached here, so the cycle's hot path never takes the scope lock.
+// Passing nil uninstalls.
+func (m *MG) SetTelemetry(sc *telemetry.Scope) {
+	if sc == nil {
+		m.tel, m.cycles, m.coarseT, m.coarseC = nil, nil, nil, nil
+		return
+	}
+	m.tel = make([]levelTel, len(m.Levels))
+	for l := range m.Levels {
+		lsc := sc.Child(fmt.Sprintf("level%d", l))
+		m.tel[l] = levelTel{
+			smooth:   lsc.Timer("smooth"),
+			op:       lsc.Timer("op"),
+			restrict: lsc.Timer("restrict"),
+			prolong:  lsc.Timer("prolong"),
+			smooths:  lsc.Counter("smooth_applies"),
+			ops:      lsc.Counter("op_applies"),
+		}
+	}
+	csc := sc.Child("coarse")
+	m.cycles = sc.Counter("cycles")
+	m.coarseT = csc.Timer("solve")
+	m.coarseC = csc.Counter("solves")
 }
 
 // Options configures Build.
@@ -250,12 +302,20 @@ func (m *MG) VCycle(b, x la.Vec) { m.vcycle(0, b, x, false) }
 
 func (m *MG) vcycle(l int, b, x la.Vec, zeroGuess bool) {
 	lev := m.Levels[l]
+	lt := m.lt(l)
+	if l == 0 {
+		m.cycles.Inc()
+	}
 	if l == len(m.Levels)-1 {
 		if m.CoarseSolve == nil {
 			// Fall back to smoothing only.
+			st := lt.smooth.Start()
 			lev.Smoother.Smooth(b, x, zeroGuess)
+			lt.smooth.Stop(st)
+			lt.smooths.Inc()
 			return
 		}
+		st := m.coarseT.Start()
 		if zeroGuess {
 			m.CoarseSolve.Apply(b, x)
 		} else {
@@ -265,15 +325,25 @@ func (m *MG) vcycle(l int, b, x la.Vec, zeroGuess bool) {
 			m.CoarseSolve.Apply(lev.r, lev.e)
 			x.AXPY(1, lev.e)
 		}
+		m.coarseT.Stop(st)
+		m.coarseC.Inc()
 		return
 	}
 	// Pre-smooth.
+	st := lt.smooth.Start()
 	lev.Smoother.Smooth(b, x, zeroGuess)
+	lt.smooth.Stop(st)
+	lt.smooths.Inc()
 	// Residual and restriction.
+	st = lt.op.Start()
 	lev.Op.Apply(x, lev.r)
+	lt.op.Stop(st)
+	lt.ops.Inc()
 	lev.r.AYPX(-1, b)
 	next := m.Levels[l+1]
+	st = lt.restrict.Start()
 	next.P.ApplyTranspose(lev.r, next.bc)
+	lt.restrict.Stop(st)
 	// Coarse correction (γ recursive visits: V- or W-cycle).
 	gamma := m.Gamma
 	if gamma < 1 {
@@ -284,10 +354,15 @@ func (m *MG) vcycle(l int, b, x la.Vec, zeroGuess bool) {
 	for g := 1; g < gamma; g++ {
 		m.vcycle(l+1, next.bc, next.e, false)
 	}
+	st = lt.prolong.Start()
 	next.P.Apply(next.e, lev.e)
+	lt.prolong.Stop(st)
 	x.AXPY(1, lev.e)
 	// Post-smooth.
+	st = lt.smooth.Start()
 	lev.Smoother.Smooth(b, x, false)
+	lt.smooth.Stop(st)
+	lt.smooths.Inc()
 }
 
 func max(a, b int) int {

@@ -19,6 +19,7 @@ import (
 	"ptatin3d/internal/nonlinear"
 	"ptatin3d/internal/rheology"
 	"ptatin3d/internal/stokes"
+	"ptatin3d/internal/telemetry"
 	"ptatin3d/internal/thermal"
 )
 
@@ -57,6 +58,12 @@ type Model struct {
 	MinPointsPerElement int
 	// Nonlinear controls the outer Newton/Picard iteration.
 	Nonlinear nonlinear.Options
+
+	// Telemetry, when non-nil, receives per-step instrumentation: a "step"
+	// timer, "steps" counter, material-point accounting counters
+	// (points_advected / points_removed / points_relocated), a "points"
+	// gauge, and a "stokes" child scope threaded into each solver rebuild.
+	Telemetry *telemetry.Scope
 
 	Time    float64
 	StepNum int
@@ -196,6 +203,9 @@ func (m *Model) SolveStokes() (nonlinear.Result, error) {
 			cfg.Workers = m.Workers
 			cfg.VerticalAxis = m.VerticalAxis
 			cfg.CoeffCoarsen = m.CoeffCoarsener()
+			if cfg.Telemetry == nil {
+				cfg.Telemetry = m.Telemetry.Child("stokes")
+			}
 			s, err := stokes.New(prob, cfg)
 			if err != nil {
 				buildErr = err
@@ -252,6 +262,7 @@ func (m *Model) minCellSize() float64 {
 // equation. It appends a StepStats record.
 func (m *Model) StepForward() error {
 	start := time.Now()
+	stepStart := m.Telemetry.Timer("step").Start()
 	res, err := m.SolveStokes()
 	if err != nil {
 		return err
@@ -290,10 +301,13 @@ func (m *Model) StepForward() error {
 	}
 
 	// Advect material points; outflow points are removed (§II-D).
+	advected := m.Points.Len()
+	removed := 0
 	mpm.AdvectRK2(m.Prob, u, dt, m.Points, maxInt(1, m.Workers))
 	for i := m.Points.Len() - 1; i >= 0; i-- {
 		if m.Points.Elem[i] < 0 {
 			m.Points.RemoveSwap(i)
+			removed++
 		}
 	}
 	if m.MinPointsPerElement > 0 {
@@ -304,14 +318,17 @@ func (m *Model) StepForward() error {
 	// ALE free surface update; every point must be relocated afterwards
 	// because the mesh under it moved.
 	var topoMin, topoMax float64
+	relocated := 0
 	if m.FreeSurface {
 		meshUpdateFreeSurface(m, u, dt)
 		for i := m.Points.Len() - 1; i >= 0; i-- {
 			e, xi, et, ze, ok := mpm.Locate(m.Prob, m.Points.X[i], m.Points.Y[i], m.Points.Z[i], int(m.Points.Elem[i]))
 			if !ok {
 				m.Points.RemoveSwap(i)
+				removed++
 				continue
 			}
+			relocated++
 			m.Points.Elem[i] = int32(e)
 			m.Points.Xi[i], m.Points.Et[i], m.Points.Ze[i] = xi, et, ze
 		}
@@ -323,6 +340,17 @@ func (m *Model) StepForward() error {
 		if err := m.T.Step(m.Temp, u, dt); err != nil {
 			return fmt.Errorf("model: thermal step: %w", err)
 		}
+	}
+
+	if tel := m.Telemetry; tel != nil {
+		tel.Timer("step").Stop(stepStart)
+		tel.Counter("steps").Inc()
+		tel.Counter("points_advected").Add(int64(advected))
+		tel.Counter("points_removed").Add(int64(removed))
+		tel.Counter("points_relocated").Add(int64(relocated))
+		tel.Gauge("points").Set(float64(m.Points.Len()))
+		tel.Counter("krylov_its").Add(int64(res.KrylovIts))
+		tel.Counter("newton_its").Add(int64(res.Iterations))
 	}
 
 	m.Time += dt

@@ -3,6 +3,7 @@ package mpm
 import (
 	"ptatin3d/internal/comm"
 	"ptatin3d/internal/fem"
+	"ptatin3d/internal/telemetry"
 )
 
 // PointPacket is the wire format of migrating material points (the Ls/Lr
@@ -43,7 +44,13 @@ type MigrateStats struct {
 // prob must be the globally consistent problem (all ranks share the mesh
 // in this simulated setting); pts is r's local point population, already
 // located via LocateAll.
-func Migrate(r *comm.Rank, d *comm.Decomp, prob *fem.Problem, pts *Points) MigrateStats {
+//
+// sc, when non-nil, accumulates "migrations"/"sent"/"received"/"deleted"
+// counters and a "migrate" timer across rounds. Each rank should use its
+// own scope (or child) — scopes are safe for concurrent recording, but
+// per-rank children keep the numbers attributable.
+func Migrate(r *comm.Rank, d *comm.Decomp, prob *fem.Problem, pts *Points, sc *telemetry.Scope) MigrateStats {
+	telStart := sc.Timer("migrate").Start()
 	var st MigrateStats
 	nbrs := d.Neighbors(r.ID)
 
@@ -86,5 +93,10 @@ func Migrate(r *comm.Rank, d *comm.Decomp, prob *fem.Problem, pts *Points) Migra
 			st.Received++
 		}
 	}
+	sc.Timer("migrate").Stop(telStart)
+	sc.Counter("migrations").Inc()
+	sc.Counter("sent").Add(int64(st.Sent))
+	sc.Counter("received").Add(int64(st.Received))
+	sc.Counter("deleted").Add(int64(st.Deleted))
 	return st
 }

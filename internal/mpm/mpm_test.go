@@ -1,6 +1,7 @@
 package mpm
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mesh"
+	"ptatin3d/internal/telemetry"
 )
 
 func flatProblem(m int) *fem.Problem {
@@ -268,6 +270,7 @@ func TestMigrateProtocol(t *testing.T) {
 	}
 	states := make([]rankState, d.Size())
 	var totalBefore int
+	reg := telemetry.New()
 	w.Run(func(r *comm.Rank) {
 		// Each rank seeds points only in its own elements.
 		all := NewLattice(p, 2, nil)
@@ -282,7 +285,8 @@ func TestMigrateProtocol(t *testing.T) {
 		n0 := local.Len()
 		_ = r.AllReduceSum(0) // warm the reduction path
 		AdvectRK2(p, u, 0.5, local, 1)
-		st := Migrate(r, d, p, local)
+		sc := reg.Root().Child("mpm").Child(fmt.Sprintf("rank%d", r.ID))
+		st := Migrate(r, d, p, local, sc)
 		states[r.ID] = rankState{pts: local, st: st, tot: n0}
 	})
 	for _, s := range states {
@@ -310,6 +314,21 @@ func TestMigrateProtocol(t *testing.T) {
 	if totalAfter+deleted+(sent-received) != totalBefore {
 		t.Fatalf("point accounting: before %d, after %d, deleted %d, sent %d, recv %d",
 			totalBefore, totalAfter, deleted, sent, received)
+	}
+	// The per-rank telemetry counters must agree with the returned stats.
+	var telSent, telRecv, telDel int64
+	for rid := range states {
+		sc := reg.Root().Child("mpm").Child(fmt.Sprintf("rank%d", rid))
+		telSent += sc.Counter("sent").Value()
+		telRecv += sc.Counter("received").Value()
+		telDel += sc.Counter("deleted").Value()
+		if sc.Counter("migrations").Value() != 1 {
+			t.Fatalf("rank %d migrations counter = %d", rid, sc.Counter("migrations").Value())
+		}
+	}
+	if int(telSent) != sent || int(telRecv) != received || int(telDel) != deleted {
+		t.Fatalf("telemetry disagrees: sent %d/%d recv %d/%d del %d/%d",
+			telSent, sent, telRecv, received, telDel, deleted)
 	}
 }
 

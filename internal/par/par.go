@@ -5,41 +5,104 @@
 // one address space (see DESIGN.md, substitution table).
 package par
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ptatin3d/internal/telemetry"
+)
+
+// Probe carries the worker-occupancy instruments recorded by For. All
+// fields are nil-safe telemetry handles; the probe itself is installed via
+// SetTelemetry and read through an atomic pointer, so the disabled cost in
+// For is one atomic load plus a nil check.
+type Probe struct {
+	Calls   *telemetry.Counter // For invocations that went parallel
+	Serial  *telemetry.Counter // For invocations run on the caller's goroutine
+	Chunks  *telemetry.Counter // worker chunks launched
+	Items   *telemetry.Counter // items distributed
+	Busy    *telemetry.Timer   // per-chunk busy time (summed over workers)
+	Wall    *telemetry.Timer   // caller wall time of parallel regions
+	Workers *telemetry.Counter // workers requested (occupancy denominator)
+}
+
+var probe atomic.Pointer[Probe]
+
+// SetTelemetry installs worker-occupancy instrumentation under sc
+// ("calls", "chunks", "items", "workers" counters and "busy"/"wall"
+// timers). Occupancy is Busy.Elapsed / Wall.Elapsed ÷ (Workers/Calls):
+// the fraction of requested worker-seconds actually spent in body
+// closures. Passing a nil scope uninstalls the probe. Safe to call
+// concurrently with running For loops.
+func SetTelemetry(sc *telemetry.Scope) {
+	if sc == nil {
+		probe.Store(nil)
+		return
+	}
+	probe.Store(&Probe{
+		Calls:   sc.Counter("calls"),
+		Serial:  sc.Counter("serial_calls"),
+		Chunks:  sc.Counter("chunks"),
+		Items:   sc.Counter("items"),
+		Busy:    sc.Timer("busy"),
+		Wall:    sc.Timer("wall"),
+		Workers: sc.Counter("workers"),
+	})
+}
 
 // For partitions the half-open range [0,n) into contiguous chunks and runs
 // body(lo,hi) on nworkers goroutines. It blocks until all chunks finish.
 // With nworkers <= 1 the body is invoked once on the caller's goroutine,
 // so sequential runs have zero scheduling overhead.
+//
+// The partition is balanced: chunk w is [w·n/nw, (w+1)·n/nw), so with
+// nw = min(nworkers, n) every chunk is non-empty and chunk sizes differ by
+// at most one — no idle trailing workers for any (nworkers, n) pair.
 func For(nworkers, n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	if nworkers <= 1 || n == 1 {
+		if p := probe.Load(); p != nil {
+			p.Serial.Inc()
+			p.Items.Add(int64(n))
+		}
 		body(0, n)
 		return
 	}
 	if nworkers > n {
 		nworkers = n
 	}
+	p := probe.Load()
+	var wallStart time.Time
+	if p != nil {
+		p.Calls.Inc()
+		p.Chunks.Add(int64(nworkers))
+		p.Items.Add(int64(n))
+		p.Workers.Add(int64(nworkers))
+		wallStart = p.Wall.Start()
+	}
 	var wg sync.WaitGroup
-	chunk := (n + nworkers - 1) / nworkers
+	wg.Add(nworkers)
 	for w := 0; w < nworkers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
+		lo := w * n / nworkers
+		hi := (w + 1) * n / nworkers
 		go func(lo, hi int) {
 			defer wg.Done()
+			if p != nil {
+				st := p.Busy.Start()
+				body(lo, hi)
+				p.Busy.Stop(st)
+				return
+			}
 			body(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if p != nil {
+		p.Wall.Stop(wallStart)
+	}
 }
 
 // ForItems runs body(i) for every i in [0,n) distributed over nworkers
@@ -50,4 +113,24 @@ func ForItems(nworkers, n int, body func(i int)) {
 			body(i)
 		}
 	})
+}
+
+// Chunks returns the balanced partition For uses for (nworkers, n): the
+// lo/hi bounds of each chunk. Exposed for tests and for callers that need
+// to preallocate per-chunk scratch.
+func Chunks(nworkers, n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if nworkers <= 1 || n == 1 {
+		return [][2]int{{0, n}}
+	}
+	if nworkers > n {
+		nworkers = n
+	}
+	out := make([][2]int, nworkers)
+	for w := 0; w < nworkers; w++ {
+		out[w] = [2]int{w * n / nworkers, (w + 1) * n / nworkers}
+	}
+	return out
 }

@@ -3,6 +3,8 @@ package par
 import (
 	"sync/atomic"
 	"testing"
+
+	"ptatin3d/internal/telemetry"
 )
 
 func TestForCoversRangeOnce(t *testing.T) {
@@ -18,6 +20,90 @@ func TestForCoversRangeOnce(t *testing.T) {
 				if h != 1 {
 					t.Fatalf("nw=%d n=%d: index %d visited %d times", nw, n, i, h)
 				}
+			}
+		}
+	}
+}
+
+// TestChunkBalance is the table-driven regression test for the chunking
+// edge case: the old ceil(n/nworkers) split could leave trailing workers
+// with empty chunks (e.g. nworkers=4, n=6 → chunks 2,2,2,∅). The balanced
+// partition must produce exactly min(nworkers, n) non-empty chunks whose
+// sizes differ by at most one, covering [0,n) contiguously.
+func TestChunkBalance(t *testing.T) {
+	cases := []struct{ nworkers, n int }{
+		{1, 0}, {4, 0}, {1, 1}, {2, 1}, {100, 1},
+		{2, 3}, {3, 2}, {4, 5}, {4, 6}, {4, 7}, {4, 8},
+		{5, 9}, {7, 10}, {8, 9}, {16, 17}, {16, 100},
+		{3, 1000}, {100, 7}, {63, 64}, {64, 63}, {1000, 999},
+	}
+	for _, tc := range cases {
+		chunks := Chunks(tc.nworkers, tc.n)
+		if tc.n == 0 {
+			if chunks != nil {
+				t.Fatalf("nw=%d n=0: got chunks %v", tc.nworkers, chunks)
+			}
+			continue
+		}
+		wantChunks := tc.nworkers
+		if wantChunks > tc.n {
+			wantChunks = tc.n
+		}
+		if wantChunks < 1 {
+			wantChunks = 1
+		}
+		if len(chunks) != wantChunks {
+			t.Fatalf("nw=%d n=%d: %d chunks, want %d", tc.nworkers, tc.n, len(chunks), wantChunks)
+		}
+		next := 0
+		minSz, maxSz := tc.n+1, 0
+		for i, c := range chunks {
+			lo, hi := c[0], c[1]
+			if lo != next {
+				t.Fatalf("nw=%d n=%d: chunk %d starts at %d, want %d", tc.nworkers, tc.n, i, lo, next)
+			}
+			sz := hi - lo
+			if sz <= 0 {
+				t.Fatalf("nw=%d n=%d: chunk %d empty [%d,%d)", tc.nworkers, tc.n, i, lo, hi)
+			}
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			next = hi
+		}
+		if next != tc.n {
+			t.Fatalf("nw=%d n=%d: coverage ends at %d", tc.nworkers, tc.n, next)
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("nw=%d n=%d: imbalanced chunks (min %d, max %d)", tc.nworkers, tc.n, minSz, maxSz)
+		}
+	}
+	// The executed partition must match the advertised one.
+	for _, tc := range cases {
+		if tc.n == 0 {
+			continue
+		}
+		var mu atomic.Int64
+		got := make(chan [2]int, tc.n)
+		For(tc.nworkers, tc.n, func(lo, hi int) {
+			mu.Add(1)
+			got <- [2]int{lo, hi}
+		})
+		close(got)
+		want := Chunks(tc.nworkers, tc.n)
+		if int(mu.Load()) != len(want) {
+			t.Fatalf("nw=%d n=%d: For ran %d chunks, Chunks says %d", tc.nworkers, tc.n, mu.Load(), len(want))
+		}
+		seen := map[[2]int]bool{}
+		for c := range got {
+			seen[c] = true
+		}
+		for _, c := range want {
+			if !seen[c] {
+				t.Fatalf("nw=%d n=%d: chunk %v not executed", tc.nworkers, tc.n, c)
 			}
 		}
 	}
@@ -43,5 +129,39 @@ func TestForSequentialFastPath(t *testing.T) {
 	})
 	if calls != 1 {
 		t.Fatalf("sequential path invoked %d times", calls)
+	}
+}
+
+// TestTelemetryProbe: with a probe installed, For records chunk counts,
+// item totals and busy/wall times; uninstalling stops recording.
+func TestTelemetryProbe(t *testing.T) {
+	reg := telemetry.New()
+	sc := reg.Root().Child("par")
+	SetTelemetry(sc)
+	defer SetTelemetry(nil)
+
+	For(4, 100, func(lo, hi int) {})
+	For(1, 10, func(lo, hi int) {})
+
+	if got := sc.Counter("calls").Value(); got != 1 {
+		t.Fatalf("parallel calls = %d, want 1", got)
+	}
+	if got := sc.Counter("serial_calls").Value(); got != 1 {
+		t.Fatalf("serial calls = %d, want 1", got)
+	}
+	if got := sc.Counter("chunks").Value(); got != 4 {
+		t.Fatalf("chunks = %d, want 4", got)
+	}
+	if got := sc.Counter("items").Value(); got != 110 {
+		t.Fatalf("items = %d, want 110", got)
+	}
+	if sc.Timer("busy").Calls() != 4 || sc.Timer("wall").Calls() != 1 {
+		t.Fatalf("timer calls busy=%d wall=%d", sc.Timer("busy").Calls(), sc.Timer("wall").Calls())
+	}
+
+	SetTelemetry(nil)
+	For(4, 100, func(lo, hi int) {})
+	if got := sc.Counter("calls").Value(); got != 1 {
+		t.Fatalf("probe still recording after uninstall: %d", got)
 	}
 }

@@ -4,49 +4,73 @@ import (
 	"time"
 
 	"ptatin3d/internal/la"
+	"ptatin3d/internal/telemetry"
 )
 
-// TimedOp wraps a linear operator, accumulating call counts and wall time.
-// It provides the "MatMult" column of Table IV.
-type TimedOp struct {
+// OpProbe wraps a linear operator, recording call counts and wall time
+// into a telemetry timer. It provides the "MatMult" column of Table IV.
+// The Solver always backs its probes with a registry (a private one when
+// Config.Telemetry is nil), so Calls/Elapsed are always live.
+type OpProbe struct {
 	Inner interface {
 		N() int
 		Apply(x, y la.Vec)
 	}
-	Calls   int
-	Elapsed time.Duration
+	t *telemetry.Timer
+}
+
+// NewOpProbe wraps inner, recording into t (nil t records nothing).
+func NewOpProbe(inner interface {
+	N() int
+	Apply(x, y la.Vec)
+}, t *telemetry.Timer) *OpProbe {
+	return &OpProbe{Inner: inner, t: t}
 }
 
 // N returns the wrapped dimension.
-func (t *TimedOp) N() int { return t.Inner.N() }
+func (p *OpProbe) N() int { return p.Inner.N() }
 
 // Apply times one operator application.
-func (t *TimedOp) Apply(x, y la.Vec) {
-	start := time.Now()
-	t.Inner.Apply(x, y)
-	t.Elapsed += time.Since(start)
-	t.Calls++
+func (p *OpProbe) Apply(x, y la.Vec) {
+	st := p.t.Start()
+	p.Inner.Apply(x, y)
+	p.t.Stop(st)
 }
 
-// Reset clears the counters.
-func (t *TimedOp) Reset() { t.Calls, t.Elapsed = 0, 0 }
+// Calls reports the number of applications so far.
+func (p *OpProbe) Calls() int { return int(p.t.Calls()) }
 
-// TimedPC wraps a preconditioner, accumulating call counts and wall time.
-// It provides the "PC apply" column of Table IV and the coarse-solve
-// timings of Table II.
-type TimedPC struct {
-	Inner   interface{ Apply(r, z la.Vec) }
-	Calls   int
-	Elapsed time.Duration
+// Elapsed reports the accumulated application wall time.
+func (p *OpProbe) Elapsed() time.Duration { return p.t.Elapsed() }
+
+// Reset clears the counters.
+func (p *OpProbe) Reset() { p.t.Reset() }
+
+// PCProbe wraps a preconditioner, recording call counts and wall time into
+// a telemetry timer. It provides the "PC apply" column of Table IV and the
+// coarse-solve timings of Table II.
+type PCProbe struct {
+	Inner interface{ Apply(r, z la.Vec) }
+	t     *telemetry.Timer
+}
+
+// NewPCProbe wraps inner, recording into t (nil t records nothing).
+func NewPCProbe(inner interface{ Apply(r, z la.Vec) }, t *telemetry.Timer) *PCProbe {
+	return &PCProbe{Inner: inner, t: t}
 }
 
 // Apply times one preconditioner application.
-func (t *TimedPC) Apply(r, z la.Vec) {
-	start := time.Now()
-	t.Inner.Apply(r, z)
-	t.Elapsed += time.Since(start)
-	t.Calls++
+func (p *PCProbe) Apply(r, z la.Vec) {
+	st := p.t.Start()
+	p.Inner.Apply(r, z)
+	p.t.Stop(st)
 }
 
+// Calls reports the number of applications so far.
+func (p *PCProbe) Calls() int { return int(p.t.Calls()) }
+
+// Elapsed reports the accumulated application wall time.
+func (p *PCProbe) Elapsed() time.Duration { return p.t.Elapsed() }
+
 // Reset clears the counters.
-func (t *TimedPC) Reset() { t.Calls, t.Elapsed = 0, 0 }
+func (p *PCProbe) Reset() { p.t.Reset() }

@@ -9,6 +9,7 @@ import (
 	"ptatin3d/internal/krylov"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mg"
+	"ptatin3d/internal/telemetry"
 )
 
 // Config selects one of the paper's solver configurations.
@@ -42,6 +43,12 @@ type Config struct {
 	OuterMethod string
 	// Params controls the outer Krylov iteration (rtol 1e-5 in the paper).
 	Params krylov.Params
+	// Telemetry, when non-nil, is the scope the solver instruments itself
+	// under: "outer" (matmult/pcapply/coarse timers, setup_seconds gauge),
+	// "krylov" (outer iteration counters + residual trace), "mg"/"amg"
+	// (per-level cycle breakdowns). When nil the solver still wires its
+	// probes to a private registry so MatMult/PCApply counts stay live.
+	Telemetry *telemetry.Scope
 	// Workers is the intra-node parallel width ("cores").
 	Workers int
 	// CoeffCoarsen fills coarse-level coefficients (see mg.CoarsenProblems).
@@ -81,11 +88,15 @@ type Solver struct {
 	MG   *mg.MG  // nil for pure-AMG configurations
 	SA   *amg.SA // the coarse/standalone algebraic component, if any
 
+	// Tel is the telemetry scope the solver records under: Config.Telemetry
+	// when provided, otherwise the root of a private registry.
+	Tel *telemetry.Scope
+
 	// Instrumentation (Table IV columns).
 	SetupTime   time.Duration
-	MatMult     *TimedOp
-	PCApply     *TimedPC
-	CoarseApply *TimedPC // wraps the coarse-grid solver inside MG
+	MatMult     *OpProbe
+	PCApply     *PCProbe
+	CoarseApply *PCProbe // wraps the coarse-grid solver inside MG
 }
 
 // Monitor records the per-iteration field residual norms of a GCR solve —
@@ -105,6 +116,11 @@ func New(prob *fem.Problem, cfg Config) (*Solver, error) {
 	}
 	prob.Workers = cfg.Workers
 	s := &Solver{Cfg: cfg, Prob: prob}
+	s.Tel = cfg.Telemetry
+	if s.Tel == nil {
+		// Private registry: probes stay live even with telemetry "off".
+		s.Tel = telemetry.New().Root()
+	}
 	s.C = fem.NewCoupling(prob)
 	s.Mp = fem.NewPressureMass(prob)
 
@@ -168,15 +184,24 @@ func New(prob *fem.Problem, cfg Config) (*Solver, error) {
 			return nil, err
 		}
 		s.SA = sa
-		s.CoarseApply = &TimedPC{Inner: coarse}
+		s.CoarseApply = NewPCProbe(coarse, s.Tel.Child("outer").Timer("coarse"))
 		gmg.CoarseSolve = s.CoarseApply
+		gmg.SetTelemetry(s.Tel.Child("mg"))
 		s.MG = gmg
 		innerU = gmg
 	}
+	if s.SA != nil {
+		s.SA.SetTelemetry(s.Tel.Child("amg"))
+	}
 	s.FS = NewFieldSplit(s.Op, innerU, s.Mp)
-	s.MatMult = &TimedOp{Inner: s.Op}
-	s.PCApply = &TimedPC{Inner: s.FS}
+	outer := s.Tel.Child("outer")
+	s.MatMult = NewOpProbe(s.Op, outer.Timer("matmult"))
+	s.PCApply = NewPCProbe(s.FS, outer.Timer("pcapply"))
+	if s.Cfg.Params.Telemetry == nil {
+		s.Cfg.Params.Telemetry = s.Tel.Child("krylov")
+	}
 	s.SetupTime = time.Since(start)
+	outer.Gauge("setup_seconds").Set(s.SetupTime.Seconds())
 	return s, nil
 }
 

@@ -391,11 +391,11 @@ func TestInstrumentation(t *testing.T) {
 	if !res.Converged {
 		t.Fatal("solve failed")
 	}
-	if s.MatMult.Calls == 0 || s.PCApply.Calls == 0 {
-		t.Fatalf("instrumentation missed calls: matmult %d, pc %d", s.MatMult.Calls, s.PCApply.Calls)
+	if s.MatMult.Calls() == 0 || s.PCApply.Calls() == 0 {
+		t.Fatalf("instrumentation missed calls: matmult %d, pc %d", s.MatMult.Calls(), s.PCApply.Calls())
 	}
-	if s.PCApply.Calls != res.Iterations {
-		t.Fatalf("PC applies %d != iterations %d", s.PCApply.Calls, res.Iterations)
+	if s.PCApply.Calls() != res.Iterations {
+		t.Fatalf("PC applies %d != iterations %d", s.PCApply.Calls(), res.Iterations)
 	}
 	if s.SetupTime <= 0 {
 		t.Fatal("setup not timed")

@@ -1,0 +1,111 @@
+package ptatin3d_test
+
+import (
+	"math"
+	"testing"
+
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/mesh"
+	"ptatin3d/internal/stokes"
+)
+
+// Manufactured Stokes solution on the unit cube with η = 1:
+//
+//	u* = ( π sin(πx)cos(πy)sin(πz), −π cos(πx)sin(πy)sin(πz), 0 )   (div-free)
+//	p* = sin(πx)cos(πy)sin(πz)
+//
+// Substituted into −∇·(2η ε(u)) + ∇p = f this gives the body force
+// mmsForce below (for divergence-free u and constant η the viscous term
+// reduces to −Δu). Velocity is prescribed on all six faces from u*, so
+// the pressure is determined only up to a constant — PressureL2Error
+// compares modulo the mean.
+
+func mmsVelocity(x, y, z float64) (ux, uy, uz float64) {
+	pi := math.Pi
+	return pi * math.Sin(pi*x) * math.Cos(pi*y) * math.Sin(pi*z),
+		-pi * math.Cos(pi*x) * math.Sin(pi*y) * math.Sin(pi*z),
+		0
+}
+
+func mmsPressure(x, y, z float64) float64 {
+	pi := math.Pi
+	return math.Sin(pi*x) * math.Cos(pi*y) * math.Sin(pi*z)
+}
+
+func mmsForce(x, y, z float64) (fx, fy, fz float64) {
+	pi := math.Pi
+	sx, cx := math.Sin(pi*x), math.Cos(pi*x)
+	sy, cy := math.Sin(pi*y), math.Cos(pi*y)
+	sz, cz := math.Sin(pi*z), math.Cos(pi*z)
+	pi3 := pi * pi * pi
+	return 3*pi3*sx*cy*sz + pi*cx*cy*sz,
+		-3*pi3*cx*sy*sz - pi*sx*sy*sz,
+		pi * sx * cy * cz
+}
+
+// mmsSolve discretizes and solves the manufactured problem on an m³ mesh
+// and returns the velocity and pressure L2 errors.
+func mmsSolve(t *testing.T, m int) (vErr, pErr float64) {
+	t.Helper()
+	da := mesh.New(m, m, m, 0, 1, 0, 1, 0, 1)
+	bc := mesh.NewBC(da)
+	for _, f := range []mesh.Face{mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin, mesh.ZMax} {
+		bc.SetFaceFunc(da, f, mmsVelocity)
+	}
+	p := fem.NewProblem(da, bc)
+	p.SetCoefficientsFunc(func(x, y, z float64) float64 { return 1 }, nil)
+
+	cfg := stokes.DefaultConfig()
+	cfg.Levels = 2
+	cfg.Params.RTol = 1e-10
+	cfg.Params.MaxIt = 300
+
+	s, err := stokes.New(p, cfg)
+	if err != nil {
+		t.Fatalf("m=%d: %v", m, err)
+	}
+	bu := la.NewVec(da.NVelDOF())
+	fem.MomentumRHSFunc(p, mmsForce, bu)
+	x := la.NewVec(s.Op.N())
+	bc.ApplyToVec(x[:da.NVelDOF()])
+	res := s.Solve(x, bu, nil)
+	if !res.Converged {
+		t.Fatalf("m=%d: solve failed after %d its (rel %.2e)",
+			m, res.Iterations, res.Residual/res.Residual0)
+	}
+	u, pv := s.Op.Split(x)
+	vErr = fem.VelocityL2Error(p, u, mmsVelocity)
+	pErr = fem.PressureL2Error(p, pv, mmsPressure)
+	t.Logf("m=%2d: its=%3d  |u_h-u*|_L2=%.4e  |p_h-p*|_L2=%.4e",
+		m, res.Iterations, vErr, pErr)
+	return vErr, pErr
+}
+
+// TestMMSConvergence verifies the discretization order of the Q2–P1disc
+// Stokes elements against the manufactured solution: under uniform
+// refinement the velocity L2 error must shrink at ≥3rd order and the
+// pressure L2 error at ≥2nd order (the optimal rates for this pair).
+func TestMMSConvergence(t *testing.T) {
+	ms := []int{2, 4, 8}
+	if testing.Short() {
+		ms = ms[:2]
+	}
+	vErrs := make([]float64, len(ms))
+	pErrs := make([]float64, len(ms))
+	for i, m := range ms {
+		vErrs[i], pErrs[i] = mmsSolve(t, m)
+	}
+	for i := 1; i < len(ms); i++ {
+		vRate := math.Log2(vErrs[i-1] / vErrs[i])
+		pRate := math.Log2(pErrs[i-1] / pErrs[i])
+		t.Logf("m %d→%d: velocity rate %.2f, pressure rate %.2f",
+			ms[i-1], ms[i], vRate, pRate)
+		if vRate < 2.7 {
+			t.Errorf("velocity convergence rate %.2f < 2.7 (m %d→%d)", vRate, ms[i-1], ms[i])
+		}
+		if pRate < 1.7 {
+			t.Errorf("pressure convergence rate %.2f < 1.7 (m %d→%d)", pRate, ms[i-1], ms[i])
+		}
+	}
+}

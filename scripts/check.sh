@@ -1,0 +1,31 @@
+#!/bin/sh
+# Tier-1 gate for the repository (see README.md): formatting, vet, build,
+# the full test suite, and a short-mode pass under the race detector.
+# Every PR must leave this script exiting 0.
+#
+# Usage: scripts/check.sh  (from the repository root or any subdirectory)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -short -race =="
+go test -short -race ./...
+
+echo "OK"
