@@ -35,6 +35,9 @@ func main() {
 	weak := flag.Float64("weak", 0.05, "lower-crust viscosity (nondim)")
 	snapshot := flag.Bool("snapshot", false, "write Figure 3 VTK output")
 	outdir := flag.String("outdir", ".", "output directory")
+	ckptEvery := flag.Int("checkpoint-every", 0, "write a checkpoint every N steps (0 disables)")
+	ckptPath := flag.String("checkpoint", "rift.chkpt", "checkpoint file path")
+	restartFrom := flag.String("restart-from", "", "restore model state from this checkpoint before stepping")
 	flag.Parse()
 
 	o := model.DefaultRiftOptions()
@@ -45,6 +48,12 @@ func main() {
 		o.ObliqueShortening = 0.1
 	}
 	m := model.NewRift(o)
+	if *restartFrom != "" {
+		if err := m.LoadCheckpoint(*restartFrom); err != nil {
+			log.Fatalf("restart: %v", err)
+		}
+		fmt.Printf("# restarted from %s at step %d, t=%.5f\n", *restartFrom, m.StepNum, m.Time)
+	}
 
 	fmt.Println("# Figure 4 reproduction: nonlinear solver behaviour per time step")
 	fmt.Println("# columns: step, time, dt, newton_its, krylov_its, krylov_per_newton, |F|0, |F|, converged, topo_min, topo_max, points, wall_s")
@@ -61,6 +70,12 @@ func main() {
 			st.Step, st.Time, st.Dt, st.NewtonIts, st.KrylovIts, kpn,
 			st.FNorm0, st.FNorm, st.Converged, st.TopoMin, st.TopoMax,
 			st.PointCount, st.SolveTime.Seconds())
+		if *ckptEvery > 0 && m.StepNum%*ckptEvery == 0 {
+			if err := m.SaveCheckpoint(*ckptPath); err != nil {
+				log.Fatalf("checkpoint: %v", err)
+			}
+			fmt.Printf("# checkpointed step %d to %s\n", m.StepNum, *ckptPath)
+		}
 	}
 
 	if *snapshot {

@@ -39,6 +39,9 @@ func main() {
 	outdir := flag.String("outdir", ".", "output directory")
 	telFlag := flag.Bool("telemetry", false, "emit the telemetry table + JSON on stderr after the run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	ckptEvery := flag.Int("checkpoint-every", 0, "write a checkpoint every N steps (0 disables)")
+	ckptPath := flag.String("checkpoint", "sinker.chkpt", "checkpoint file path")
+	restartFrom := flag.String("restart-from", "", "restore model state from this checkpoint before stepping")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -78,6 +81,12 @@ func main() {
 	if reg != nil {
 		mdl.Telemetry = reg.Root().Child("model")
 	}
+	if *restartFrom != "" {
+		if err := mdl.LoadCheckpoint(*restartFrom); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# restarted from %s at step %d, t=%.4f\n", *restartFrom, mdl.StepNum, mdl.Time)
+	}
 
 	if *stream {
 		if _, err := mdl.SolveStokes(); err != nil {
@@ -102,6 +111,12 @@ func main() {
 		st := mdl.Stats[len(mdl.Stats)-1]
 		fmt.Printf("step %2d: t=%.4f dt=%.4f newton=%d krylov=%d |F|: %.3e -> %.3e points=%d\n",
 			st.Step, st.Time, st.Dt, st.NewtonIts, st.KrylovIts, st.FNorm0, st.FNorm, st.PointCount)
+		if *ckptEvery > 0 && mdl.StepNum%*ckptEvery == 0 {
+			if err := mdl.SaveCheckpoint(*ckptPath); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("# checkpointed step %d to %s\n", mdl.StepNum, *ckptPath)
+		}
 	}
 }
 

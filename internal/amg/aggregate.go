@@ -2,6 +2,7 @@ package amg
 
 import (
 	"math"
+	"sort"
 
 	"ptatin3d/internal/krylov"
 	"ptatin3d/internal/la"
@@ -83,6 +84,11 @@ func buildProlongator(a *la.CSR, bs int, nns *la.Dense, opt Options) (*la.CSR, *
 					adj[bi] = append(adj[bi], edge{to: bj, s: math.Sqrt(s2)})
 				}
 			}
+			// Map iteration order is randomized; the greedy aggregation
+			// below is order-sensitive, so sort for deterministic (and
+			// hence bit-exactly restartable) coarse hierarchies.
+			es := adj[bi]
+			sort.Slice(es, func(x, y int) bool { return es[x].to < es[y].to })
 		}
 	}
 	strong := make([][]edge, nn)

@@ -1,0 +1,351 @@
+// Package chkpt implements the versioned binary checkpoint format for
+// full model state: DMDA mesh geometry, the coupled velocity/pressure
+// solution, the vertex temperature field, the material-point SoA (including
+// plastic strain history and local element coordinates), and the step
+// counter. The format is deterministic — encoding the same State twice
+// yields byte-identical output — so restart runs can be verified bit-for-bit.
+//
+// # Format (version 1)
+//
+// All integers are little-endian regardless of host byte order.
+//
+//	header:  "PTCK" | version u32 | section count u32
+//	section: name [8]byte (NUL-padded ASCII) | kind u8 | count u64
+//	         | payload (count × elemSize bytes) | crc u32 (CRC-32C of payload)
+//	trailer: "KCTP" | crc u32 (CRC-32C of everything before the trailer)
+//
+// Element kinds: 0 = float64 (IEEE-754 bits), 1 = int32, 2 = uint64.
+// Unknown section names are skipped (their CRC is still verified), so later
+// versions may append sections without breaking version-1 readers; removing
+// or re-typing a section requires a version bump. Decode never panics on
+// malformed input: every count is validated against the remaining byte
+// budget before allocation, and every corruption path returns a sentinel
+// error (ErrBadMagic, ErrVersion, ErrTruncated, ErrCorrupt, ErrInvalid).
+package chkpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies a checkpoint stream; the trailer uses it reversed.
+const Magic = "PTCK"
+
+const trailerMagic = "KCTP"
+
+// Version is the format version this package writes and accepts.
+const Version = 1
+
+// Sentinel errors. Decode wraps them with positional context; test with
+// errors.Is.
+var (
+	ErrBadMagic  = errors.New("chkpt: bad magic")
+	ErrVersion   = errors.New("chkpt: unsupported version")
+	ErrTruncated = errors.New("chkpt: truncated data")
+	ErrCorrupt   = errors.New("chkpt: checksum mismatch")
+	ErrInvalid   = errors.New("chkpt: invalid structure")
+)
+
+// Element kinds of a section payload.
+const (
+	kindF64 uint8 = 0
+	kindI32 uint8 = 1
+	kindU64 uint8 = 2
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// State is the complete restartable model state.
+type State struct {
+	StepNum    uint64
+	Time       float64
+	Mx, My, Mz uint64 // element grid dimensions
+
+	Coords []float64 // deformed mesh vertex coordinates (3 per node)
+	X      []float64 // coupled state [u; p]
+	Temp   []float64 // vertex temperature; nil when thermal is off
+
+	// Material-point SoA (parallel arrays, one entry per point).
+	PX, PY, PZ []float64
+	Litho      []int32
+	Plastic    []float64
+	Elem       []int32
+	Xi, Et, Ze []float64
+}
+
+// NPoints returns the material-point count.
+func (st *State) NPoints() int { return len(st.PX) }
+
+func appendF64s(buf []byte, vals []float64) []byte {
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func appendI32s(buf []byte, vals []int32) []byte {
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+func appendU64s(buf []byte, vals []uint64) []byte {
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	return buf
+}
+
+func appendSection(buf []byte, name string, kind uint8, payload []byte, count uint64) []byte {
+	var nm [8]byte
+	copy(nm[:], name)
+	buf = append(buf, nm[:]...)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, count)
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// Encode serializes st. The output is deterministic: a fixed section order,
+// fixed little-endian layout, no timestamps.
+func Encode(st *State) []byte {
+	type sec struct {
+		name    string
+		kind    uint8
+		payload []byte
+		count   uint64
+	}
+	meta := []uint64{st.StepNum, math.Float64bits(st.Time), st.Mx, st.My, st.Mz}
+	secs := []sec{
+		{"meta", kindU64, appendU64s(nil, meta), uint64(len(meta))},
+		{"coords", kindF64, appendF64s(nil, st.Coords), uint64(len(st.Coords))},
+		{"x", kindF64, appendF64s(nil, st.X), uint64(len(st.X))},
+	}
+	if st.Temp != nil {
+		secs = append(secs, sec{"temp", kindF64, appendF64s(nil, st.Temp), uint64(len(st.Temp))})
+	}
+	secs = append(secs,
+		sec{"px", kindF64, appendF64s(nil, st.PX), uint64(len(st.PX))},
+		sec{"py", kindF64, appendF64s(nil, st.PY), uint64(len(st.PY))},
+		sec{"pz", kindF64, appendF64s(nil, st.PZ), uint64(len(st.PZ))},
+		sec{"litho", kindI32, appendI32s(nil, st.Litho), uint64(len(st.Litho))},
+		sec{"plastic", kindF64, appendF64s(nil, st.Plastic), uint64(len(st.Plastic))},
+		sec{"elem", kindI32, appendI32s(nil, st.Elem), uint64(len(st.Elem))},
+		sec{"xi", kindF64, appendF64s(nil, st.Xi), uint64(len(st.Xi))},
+		sec{"et", kindF64, appendF64s(nil, st.Et), uint64(len(st.Et))},
+		sec{"ze", kindF64, appendF64s(nil, st.Ze), uint64(len(st.Ze))},
+	)
+
+	buf := []byte(Magic)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(secs)))
+	for _, s := range secs {
+		buf = appendSection(buf, s.name, s.kind, s.payload, s.count)
+	}
+	buf = append(buf, trailerMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf
+}
+
+func elemSize(kind uint8) (int, bool) {
+	switch kind {
+	case kindF64, kindU64:
+		return 8, true
+	case kindI32:
+		return 4, true
+	}
+	return 0, false
+}
+
+// Decode parses a checkpoint stream. It validates the magic, version, every
+// section CRC and the file CRC, and the structural consistency of the
+// material-point arrays. Allocation is bounded by len(data): a section count
+// is rejected before allocation unless its payload fits in the remaining
+// bytes, so fuzzed inputs cannot force large allocations or panics.
+func Decode(data []byte) (*State, error) {
+	const headerLen = 4 + 4 + 4
+	if len(data) < headerLen+len(trailerMagic)+4 {
+		return nil, fmt.Errorf("%w: %d bytes is below the minimum", ErrTruncated, len(data))
+	}
+	if string(data[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	}
+	// File CRC covers everything before the 4 trailing checksum bytes.
+	tail := data[len(data)-8:]
+	if string(tail[:4]) != trailerMagic {
+		return nil, fmt.Errorf("%w: missing trailer", ErrTruncated)
+	}
+	if got, want := crc32.Checksum(data[:len(data)-4], castagnoli), binary.LittleEndian.Uint32(tail[4:]); got != want {
+		return nil, fmt.Errorf("%w: file CRC %08x, want %08x", ErrCorrupt, got, want)
+	}
+	nsec := int(binary.LittleEndian.Uint32(data[8:12]))
+
+	st := &State{}
+	f64dst := map[string]*[]float64{
+		"coords": &st.Coords, "x": &st.X, "temp": &st.Temp,
+		"px": &st.PX, "py": &st.PY, "pz": &st.PZ,
+		"plastic": &st.Plastic, "xi": &st.Xi, "et": &st.Et, "ze": &st.Ze,
+	}
+	i32dst := map[string]*[]int32{"litho": &st.Litho, "elem": &st.Elem}
+	seen := map[string]bool{}
+	pos := headerLen
+	end := len(data) - 8 // trailer
+	for i := 0; i < nsec; i++ {
+		if end-pos < 8+1+8 {
+			return nil, fmt.Errorf("%w: section %d header", ErrTruncated, i)
+		}
+		name := string(trimNul(data[pos : pos+8]))
+		kind := data[pos+8]
+		count := binary.LittleEndian.Uint64(data[pos+9 : pos+17])
+		pos += 17
+		sz, ok := elemSize(kind)
+		if !ok {
+			return nil, fmt.Errorf("%w: section %q has unknown kind %d", ErrInvalid, name, kind)
+		}
+		if count > uint64(end-pos)/uint64(sz) {
+			return nil, fmt.Errorf("%w: section %q claims %d elements", ErrTruncated, name, count)
+		}
+		n := int(count)
+		payload := data[pos : pos+n*sz]
+		pos += n * sz
+		if end-pos < 4 {
+			return nil, fmt.Errorf("%w: section %q CRC", ErrTruncated, name)
+		}
+		if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(data[pos:pos+4]); got != want {
+			return nil, fmt.Errorf("%w: section %q CRC %08x, want %08x", ErrCorrupt, name, got, want)
+		}
+		pos += 4
+
+		if seen[name] {
+			return nil, fmt.Errorf("%w: duplicate section %q", ErrInvalid, name)
+		}
+		switch {
+		case name == "meta":
+			if kind != kindU64 || n != 5 {
+				return nil, fmt.Errorf("%w: meta section kind %d count %d", ErrInvalid, kind, n)
+			}
+			meta := decodeU64s(payload, n)
+			st.StepNum = meta[0]
+			st.Time = math.Float64frombits(meta[1])
+			st.Mx, st.My, st.Mz = meta[2], meta[3], meta[4]
+			seen[name] = true
+		case f64dst[name] != nil:
+			if kind != kindF64 {
+				return nil, fmt.Errorf("%w: section %q kind %d, want float64", ErrInvalid, name, kind)
+			}
+			*f64dst[name] = decodeF64s(payload, n)
+			seen[name] = true
+		case i32dst[name] != nil:
+			if kind != kindI32 {
+				return nil, fmt.Errorf("%w: section %q kind %d, want int32", ErrInvalid, name, kind)
+			}
+			*i32dst[name] = decodeI32s(payload, n)
+			seen[name] = true
+		default:
+			// Forward compatibility: skip unknown (already CRC-verified)
+			// sections from a newer writer of the same version.
+		}
+	}
+	if pos != end {
+		return nil, fmt.Errorf("%w: %d trailing bytes after last section", ErrInvalid, end-pos)
+	}
+	for _, nm := range []string{"meta", "coords", "x",
+		"px", "py", "pz", "litho", "plastic", "elem", "xi", "et", "ze"} {
+		if !seen[nm] {
+			return nil, fmt.Errorf("%w: missing mandatory section %q", ErrInvalid, nm)
+		}
+	}
+	np := len(st.PX)
+	if len(st.PY) != np || len(st.PZ) != np || len(st.Litho) != np ||
+		len(st.Plastic) != np || len(st.Elem) != np ||
+		len(st.Xi) != np || len(st.Et) != np || len(st.Ze) != np {
+		return nil, fmt.Errorf("%w: inconsistent material-point array lengths", ErrInvalid)
+	}
+	if len(st.Coords)%3 != 0 {
+		return nil, fmt.Errorf("%w: coords length %d not divisible by 3", ErrInvalid, len(st.Coords))
+	}
+	return st, nil
+}
+
+func decodeF64s(payload []byte, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	return out
+}
+
+func decodeI32s(payload []byte, n int) []int32 {
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return out
+}
+
+func decodeU64s(payload []byte, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = binary.LittleEndian.Uint64(payload[8*i:])
+	}
+	return out
+}
+
+func trimNul(b []byte) []byte {
+	for i, c := range b {
+		if c == 0 {
+			return b[:i]
+		}
+	}
+	return b
+}
+
+// Save atomically writes the encoded state to path (temp file + rename, so
+// a crash mid-write never leaves a truncated checkpoint under the final
+// name).
+func Save(path string, st *State) error {
+	data := Encode(st)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".chkpt-*")
+	if err != nil {
+		return fmt.Errorf("chkpt: save: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("chkpt: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("chkpt: save: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("chkpt: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads and decodes a checkpoint file.
+func Load(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chkpt: load: %w", err)
+	}
+	st, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("chkpt: load %s: %w", path, err)
+	}
+	return st, nil
+}

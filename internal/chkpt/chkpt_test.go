@@ -1,0 +1,154 @@
+package chkpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleState(withTemp bool) *State {
+	st := &State{
+		StepNum: 7, Time: 3.25, Mx: 4, My: 5, Mz: 6,
+		Coords:  []float64{0, 0, 0, 1, 0, 0, 0, 1, 0},
+		X:       []float64{0.5, -1.25, 2.5, 0, 1e-8},
+		PX:      []float64{0.1, 0.2, 0.3},
+		PY:      []float64{0.4, 0.5, 0.6},
+		PZ:      []float64{0.7, 0.8, 0.9},
+		Litho:   []int32{0, 1, 0},
+		Plastic: []float64{0, 0.01, 0.5},
+		Elem:    []int32{0, 3, -1},
+		Xi:      []float64{-0.5, 0, 0.5},
+		Et:      []float64{0.25, -0.25, 0},
+		Ze:      []float64{0, 0, 0.125},
+	}
+	if withTemp {
+		st.Temp = []float64{300, 400, 500, 600}
+	}
+	return st
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, withTemp := range []bool{false, true} {
+		st := sampleState(withTemp)
+		data := Encode(st)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("withTemp=%v: Decode: %v", withTemp, err)
+		}
+		if !reflect.DeepEqual(st, got) {
+			t.Errorf("withTemp=%v: round trip mismatch:\n got %+v\nwant %+v", withTemp, got, st)
+		}
+	}
+}
+
+func TestEncodeDeterministicAndReencodeIdentical(t *testing.T) {
+	st := sampleState(true)
+	a := Encode(st)
+	b := Encode(sampleState(true))
+	if !bytes.Equal(a, b) {
+		t.Fatal("Encode is not deterministic for equal states")
+	}
+	dec, err := Decode(a)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if c := Encode(dec); !bytes.Equal(a, c) {
+		t.Fatal("decode → re-encode is not byte-identical")
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	data := Encode(sampleState(false))
+	data[0] = 'X'
+	if _, err := Decode(data); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	data := Encode(sampleState(false))
+	data[4] = 99
+	// The version check precedes the file-CRC check, so a version clash is
+	// reported as such even though the CRC no longer matches either.
+	if _, err := Decode(data); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeTruncation(t *testing.T) {
+	data := Encode(sampleState(true))
+	for _, cut := range []int{0, 1, 4, 11, 12, 20, len(data) / 2, len(data) - 9, len(data) - 1} {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Errorf("Decode of %d/%d-byte prefix succeeded, want error", cut, len(data))
+		}
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	orig := Encode(sampleState(true))
+	for _, pos := range []int{12, 20, 40, len(orig) / 2, len(orig) - 6, len(orig) - 1} {
+		data := bytes.Clone(orig)
+		data[pos] ^= 0x40
+		if _, err := Decode(data); err == nil {
+			t.Errorf("Decode with byte %d flipped succeeded, want error", pos)
+		}
+	}
+}
+
+func TestDecodeHugeCountRejectedBeforeAllocation(t *testing.T) {
+	data := Encode(sampleState(false))
+	// The "coords" section header starts right after the 12-byte file header
+	// and the meta section (17-byte header + 40-byte payload + 4-byte CRC).
+	countOff := 12 + 17 + 40 + 4 + 9
+	for i := 0; i < 8; i++ {
+		data[countOff+i] = 0xff
+	}
+	// Re-stamp the file CRC so the count guard — not the integrity check —
+	// is what rejects the stream.
+	sum := crc32.Checksum(data[:len(data)-4], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(data[len(data)-4:], sum)
+	_, err := Decode(data)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated for a 2^64-element claim", err)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	st := sampleState(true)
+	path := filepath.Join(t.TempDir(), "state.chkpt")
+	if err := Save(path, st); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatal("Save/Load round trip mismatch")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.chkpt")); err == nil {
+		t.Fatal("Load of missing file succeeded")
+	}
+}
+
+func TestSpecialFloats(t *testing.T) {
+	st := sampleState(false)
+	st.Time = math.Inf(1)
+	st.X[0] = math.NaN()
+	st.X[1] = math.Copysign(0, -1)
+	got, err := Decode(Encode(st))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !math.IsInf(got.Time, 1) || !math.IsNaN(got.X[0]) {
+		t.Fatal("special float values not preserved bit-exactly")
+	}
+	if math.Float64bits(got.X[1]) != math.Float64bits(st.X[1]) {
+		t.Fatal("-0.0 not preserved bit-exactly")
+	}
+}

@@ -1,0 +1,40 @@
+package chkpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the checkpoint decoder with arbitrary bytes. The
+// invariants: Decode never panics, bounds every allocation by the input
+// length, and any successfully decoded state re-encodes to a stream that
+// decodes again (the format round-trips through its own reader).
+func FuzzDecode(f *testing.F) {
+	valid := Encode(sampleState(true))
+	f.Add(valid)
+	f.Add(Encode(sampleState(false)))
+	f.Add(valid[:12])
+	f.Add(valid[:len(valid)-8])
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	for _, pos := range []int{4, 8, 12, 30, len(valid) / 2, len(valid) - 2} {
+		mut := bytes.Clone(valid)
+		mut[pos] ^= 0x01
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(st)
+		st2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded stream fails to decode: %v", err)
+		}
+		if st2.StepNum != st.StepNum || st2.NPoints() != st.NPoints() ||
+			len(st2.X) != len(st.X) || len(st2.Coords) != len(st.Coords) {
+			t.Fatal("re-encoded stream decodes to a different state")
+		}
+	})
+}

@@ -19,6 +19,11 @@ type World struct {
 	// mail[to][from] carries messages from rank `from` to rank `to`.
 	mail [][]chan interface{}
 
+	// fault, when non-nil, injects failures into the reliable exchange
+	// paths; policy bounds their retry/timeout behaviour.
+	fault  *FaultPlan
+	policy RetryPolicy
+
 	bmu    sync.Mutex
 	bcond  *sync.Cond
 	bcount int
@@ -53,6 +58,22 @@ func NewWorld(n int) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// SetFaultPlan installs a fault injector on the reliable exchange paths.
+// Must be called before Run; pass nil to disable injection.
+func (w *World) SetFaultPlan(fp *FaultPlan) {
+	w.fault = fp
+	if fp != nil {
+		fp.attach(w.size)
+	}
+}
+
+// FaultPlan returns the installed fault injector (nil when disabled).
+func (w *World) FaultPlan() *FaultPlan { return w.fault }
+
+// SetRetryPolicy sets the default retry policy used by exchange callers
+// that consult Rank.Policy. The zero policy means DefaultRetryPolicy.
+func (w *World) SetRetryPolicy(p RetryPolicy) { w.policy = p }
+
 // Run executes body as an SPMD region: one goroutine per rank, returning
 // when all ranks have finished.
 func (w *World) Run(body func(r *Rank)) {
@@ -71,6 +92,22 @@ func (w *World) Run(body func(r *Rank)) {
 type Rank struct {
 	ID int
 	W  *World
+
+	// Reliable-exchange state (see reliable.go): the per-rank exchange
+	// sequence number, early-arrival stash, and retransmission history.
+	// All ranks must issue reliable exchanges in the same collective
+	// order for sequence numbers to align.
+	seq   int64
+	stash map[int]map[int64]envelope
+	hist  map[int64]map[int]interface{}
+}
+
+// Policy returns the world's retry policy (DefaultRetryPolicy if unset).
+func (r *Rank) Policy() RetryPolicy {
+	if r.W.policy == (RetryPolicy{}) {
+		return DefaultRetryPolicy()
+	}
+	return r.W.policy
 }
 
 // Send posts v to rank `to` (buffered, non-blocking up to the buffer).
@@ -139,7 +176,7 @@ func (r *Rank) AllReduceMax(x float64) float64 {
 	if r.ID == 0 {
 		m := x
 		for from := 1; from < r.W.size; from++ {
-			v := r.Recv(from).(float64)
+			v := r.recvSkipEnvelopes(from).(float64)
 			if v > m {
 				m = v
 			}
@@ -150,7 +187,24 @@ func (r *Rank) AllReduceMax(x float64) float64 {
 		return m
 	}
 	r.Send(0, x)
-	return r.Recv(0).(float64)
+	return r.recvSkipEnvelopes(0).(float64)
+}
+
+// recvSkipEnvelopes receives from rank `from`, discarding (or stashing)
+// reliable-exchange protocol envelopes that a failed or late exchange
+// may have left in the mailbox, so mixed use of the legacy collectives
+// and the hardened exchange paths cannot mistype a message.
+func (r *Rank) recvSkipEnvelopes(from int) interface{} {
+	for {
+		v := r.Recv(from)
+		env, ok := v.(envelope)
+		if !ok {
+			return v
+		}
+		if env.Kind == envData && env.Seq >= r.seq {
+			r.stashPut(env)
+		}
+	}
 }
 
 // ExchangeCounts implements a neighbour exchange of variable-length

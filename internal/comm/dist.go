@@ -1,8 +1,12 @@
 package comm
 
 import (
+	"fmt"
+	"math/rand"
+
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
+	"ptatin3d/internal/telemetry"
 )
 
 // Rank-distributed operator application (paper §II-D): each rank applies
@@ -19,6 +23,30 @@ import (
 type haloPacket struct {
 	Node []int32
 	Val  []float64 // 3 per node
+}
+
+// Checksum64 implements Checksummer so the reliable exchange can detect
+// in-flight corruption of halo payloads.
+func (pk *haloPacket) Checksum64() uint64 {
+	h := HashInt32s(HashSeed, pk.Node)
+	return HashFloats(h, pk.Val)
+}
+
+// CorruptCopy implements Corrupter: a deep copy with one value flipped
+// (or, for empty packets, a spurious node entry added).
+func (pk *haloPacket) CorruptCopy(rng *rand.Rand) interface{} {
+	c := &haloPacket{
+		Node: append([]int32(nil), pk.Node...),
+		Val:  append([]float64(nil), pk.Val...),
+	}
+	if len(c.Val) > 0 {
+		i := rng.Intn(len(c.Val))
+		c.Val[i] = c.Val[i]*1.5 + 1
+	} else {
+		c.Node = append(c.Node, int32(rng.Intn(1<<20)))
+		c.Val = append(c.Val, rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	return c
 }
 
 // ownerElem returns the lowest element index whose support contains Q2
@@ -54,7 +82,14 @@ func (d *Decomp) NodeOwner(n int) int {
 //
 // All ranks of the world must call this collectively with the same
 // decomposition and problem.
-func DistributedViscousApply(r *Rank, d *Decomp, prob *fem.Problem, op *fem.TensorOp, u, y la.Vec) {
+//
+// Both halo exchanges run over the reliable protocol (ExchangeReliable)
+// using the world's retry policy, so injected message drops, corruption
+// and peer stalls are retried; an exchange that cannot complete within
+// the retry budget aborts the application with a typed error wrapping
+// *ExchangeError rather than deadlocking. sc (nilable) receives the
+// exchange telemetry.
+func DistributedViscousApply(r *Rank, d *Decomp, prob *fem.Problem, op *fem.TensorOp, u, y la.Vec, sc *telemetry.Scope) error {
 	mine := d.LocalElements(r.ID)
 	y.Zero()
 	op.ApplyElements(mine, u, y)
@@ -88,7 +123,10 @@ func DistributedViscousApply(r *Rank, d *Decomp, prob *fem.Problem, op *fem.Tens
 	for _, n := range nbrs {
 		payload[n] = send[n]
 	}
-	recv := r.ExchangeCounts(nbrs, payload)
+	recv, err := r.ExchangeReliable(nbrs, payload, r.Policy(), sc)
+	if err != nil {
+		return fmt.Errorf("comm: halo partial-sum exchange: %w", err)
+	}
 	// Accumulate received partials into owned rows.
 	for _, n := range nbrs {
 		pk := recv[n].(*haloPacket)
@@ -120,7 +158,10 @@ func DistributedViscousApply(r *Rank, d *Decomp, prob *fem.Problem, op *fem.Tens
 		}
 		back[n] = out
 	}
-	totals := r.ExchangeCounts(nbrs, back)
+	totals, err := r.ExchangeReliable(nbrs, back, r.Policy(), sc)
+	if err != nil {
+		return fmt.Errorf("comm: halo owner-total exchange: %w", err)
+	}
 	for _, n := range nbrs {
 		pk := totals[n].(*haloPacket)
 		for i, node := range pk.Node {
@@ -129,4 +170,5 @@ func DistributedViscousApply(r *Rank, d *Decomp, prob *fem.Problem, op *fem.Tens
 			y[3*node+2] = pk.Val[3*i+2]
 		}
 	}
+	return nil
 }

@@ -45,7 +45,9 @@ func TestDistributedViscousApply(t *testing.T) {
 	var mu sync.Mutex
 	w.Run(func(r *Rank) {
 		y := la.NewVec(n)
-		DistributedViscousApply(r, d, prob, fem.NewTensor(prob), u, y)
+		if err := DistributedViscousApply(r, d, prob, fem.NewTensor(prob), u, y, nil); err != nil {
+			t.Errorf("rank %d: %v", r.ID, err)
+		}
 		mu.Lock()
 		results[r.ID] = y
 		mu.Unlock()

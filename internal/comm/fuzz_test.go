@@ -1,0 +1,113 @@
+package comm
+
+import (
+	"testing"
+
+	"ptatin3d/internal/mesh"
+)
+
+// FuzzDecompIndexMath exercises the Cartesian decomposition's index
+// arithmetic over arbitrary grid/partition shapes. Invariants: the parts
+// tile the element grid exactly (every element owned by exactly one rank,
+// consistent with RankOfElement and ElementRange), RankID/RankIJK round-
+// trip, and the 26-neighbour graph is symmetric, self-free and duplicate-
+// free.
+func FuzzDecompIndexMath(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint8(4), uint8(2), uint8(2), uint8(1))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), uint8(1), uint8(1))
+	f.Add(uint8(6), uint8(3), uint8(5), uint8(3), uint8(3), uint8(2))
+	f.Add(uint8(5), uint8(2), uint8(2), uint8(5), uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, mx, my, mz, px, py, pz uint8) {
+		clampDim := func(v uint8) int { return 1 + int(v)%6 }
+		clampPart := func(v uint8, dim int) int { return 1 + int(v)%dim }
+		Mx, My, Mz := clampDim(mx), clampDim(my), clampDim(mz)
+		Px := clampPart(px, Mx)
+		Py := clampPart(py, My)
+		Pz := clampPart(pz, Mz)
+
+		da := mesh.New(Mx, My, Mz, 0, 1, 0, 1, 0, 1)
+		d, err := NewDecomp(da, Px, Py, Pz)
+		if err != nil {
+			t.Fatalf("NewDecomp(%d,%d,%d / %d,%d,%d): %v", Mx, My, Mz, Px, Py, Pz, err)
+		}
+		size := d.Size()
+		if size != Px*Py*Pz {
+			t.Fatalf("Size() = %d, want %d", size, Px*Py*Pz)
+		}
+
+		// RankID/RankIJK round trip.
+		for r := 0; r < size; r++ {
+			pi, pj, pk := d.RankIJK(r)
+			if pi < 0 || pi >= Px || pj < 0 || pj >= Py || pk < 0 || pk >= Pz {
+				t.Fatalf("RankIJK(%d) = (%d,%d,%d) out of range", r, pi, pj, pk)
+			}
+			if back := d.RankID(pi, pj, pk); back != r {
+				t.Fatalf("RankID(RankIJK(%d)) = %d", r, back)
+			}
+		}
+
+		// Ownership: LocalElements partitions the grid, consistent with
+		// RankOfElement and ElementRange.
+		owner := make([]int, da.NElements())
+		for i := range owner {
+			owner[i] = -1
+		}
+		total := 0
+		for r := 0; r < size; r++ {
+			ilo, ihi, jlo, jhi, klo, khi := d.ElementRange(r)
+			for _, e := range d.LocalElements(r) {
+				if e < 0 || e >= len(owner) {
+					t.Fatalf("rank %d owns out-of-range element %d", r, e)
+				}
+				if owner[e] != -1 {
+					t.Fatalf("element %d owned by ranks %d and %d", e, owner[e], r)
+				}
+				owner[e] = r
+				total++
+				if got := d.RankOfElement(e); got != r {
+					t.Fatalf("RankOfElement(%d) = %d, want %d", e, got, r)
+				}
+				ei, ej, ek := da.ElemIJK(e)
+				if ei < ilo || ei >= ihi || ej < jlo || ej >= jhi || ek < klo || ek >= khi {
+					t.Fatalf("element %d (%d,%d,%d) outside rank %d range", e, ei, ej, ek, r)
+				}
+			}
+		}
+		if total != da.NElements() {
+			t.Fatalf("ranks own %d elements, grid has %d", total, da.NElements())
+		}
+
+		// Neighbour graph: symmetric, no self, no duplicates.
+		nbrs := make([][]int, size)
+		for r := 0; r < size; r++ {
+			nbrs[r] = d.Neighbors(r)
+			seen := map[int]bool{}
+			for _, n := range nbrs[r] {
+				if n == r {
+					t.Fatalf("rank %d lists itself as neighbour", r)
+				}
+				if n < 0 || n >= size {
+					t.Fatalf("rank %d has out-of-range neighbour %d", r, n)
+				}
+				if seen[n] {
+					t.Fatalf("rank %d lists neighbour %d twice", r, n)
+				}
+				seen[n] = true
+			}
+		}
+		for r := 0; r < size; r++ {
+			for _, n := range nbrs[r] {
+				found := false
+				for _, back := range nbrs[n] {
+					if back == r {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("neighbour graph asymmetric: %d lists %d but not vice versa", r, n)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,318 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ptatin3d/internal/telemetry"
+)
+
+// The reliable neighbour exchange hardens the halo-exchange and
+// point-migration paths against the fault model of FaultPlan: every
+// payload travels in a sequence-numbered envelope with an optional
+// checksum; receivers acknowledge accepted data, dedupe retransmissions,
+// and request resends for missing or corrupt payloads; senders keep a
+// short retransmission history. All waits are timeout-bounded, so a
+// fault burst beyond the retry budget surfaces as a typed
+// *ExchangeError instead of a deadlock — the caller aborts the step.
+
+// envKind discriminates protocol messages.
+type envKind uint8
+
+const (
+	envData envKind = iota
+	envAck
+	envResend
+)
+
+// envelope is the wire frame of the reliable exchange.
+type envelope struct {
+	Kind    envKind
+	Seq     int64
+	From    int
+	Sum     uint64
+	HasSum  bool
+	Payload interface{}
+}
+
+// RetryPolicy bounds one reliable exchange.
+type RetryPolicy struct {
+	// Timeout is the per-attempt wait before retransmitting data to
+	// unacked neighbours and requesting resends from silent ones.
+	Timeout time.Duration
+	// MaxRetries is the number of retransmission rounds after the first
+	// attempt; when exhausted the exchange fails with *ExchangeError.
+	MaxRetries int
+	// Backoff multiplies the timeout after every retry (values < 1 are
+	// treated as 1, i.e. constant timeout).
+	Backoff float64
+}
+
+// DefaultRetryPolicy returns the package defaults: 50 ms per attempt, 8
+// retries, 1.5× backoff — generous enough to ride out injected stalls
+// while still bounding every wait.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Timeout: 50 * time.Millisecond, MaxRetries: 8, Backoff: 1.5}
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.Timeout <= 0 {
+		p.Timeout = 50 * time.Millisecond
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.Backoff < 1 {
+		p.Backoff = 1
+	}
+	return p
+}
+
+// ExchangeError reports an exchange that could not complete within its
+// retry budget: the neighbours whose data never (verifiably) arrived and
+// the neighbours that never acknowledged ours.
+type ExchangeError struct {
+	Rank        int
+	Seq         int64
+	MissingData []int
+	MissingAcks []int
+	Attempts    int
+}
+
+// Error implements the error interface.
+func (e *ExchangeError) Error() string {
+	return fmt.Sprintf("comm: rank %d exchange %d failed after %d attempts (missing data from %v, missing acks from %v)",
+		e.Rank, e.Seq, e.Attempts, e.MissingData, e.MissingAcks)
+}
+
+// sendEnvelope routes env through the fault plan (if any) and the mail
+// fabric.
+func (r *Rank) sendEnvelope(to int, env envelope) {
+	if fp := r.W.fault; fp != nil {
+		var deliver bool
+		env, deliver = fp.filter(r.ID, env)
+		if !deliver {
+			return
+		}
+	}
+	r.Send(to, env)
+}
+
+// dataEnvelope frames a payload, stamping a checksum when supported.
+func (r *Rank) dataEnvelope(seq int64, payload interface{}) envelope {
+	env := envelope{Kind: envData, Seq: seq, From: r.ID, Payload: payload}
+	if cs, ok := payload.(Checksummer); ok {
+		env.Sum = cs.Checksum64()
+		env.HasSum = true
+	}
+	return env
+}
+
+// RecvTimeout waits up to d for a message from rank `from`.
+func (r *Rank) RecvTimeout(from int, d time.Duration) (interface{}, bool) {
+	select {
+	case v := <-r.W.mail[r.ID][from]:
+		return v, true
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case v := <-r.W.mail[r.ID][from]:
+		return v, true
+	case <-t.C:
+		return nil, false
+	}
+}
+
+// rememberSent records the payload map for retransmission service and
+// prunes history older than a few exchanges.
+func (r *Rank) rememberSent(seq int64, payload map[int]interface{}) {
+	if r.hist == nil {
+		r.hist = map[int64]map[int]interface{}{}
+	}
+	r.hist[seq] = payload
+	for s := range r.hist {
+		if s < seq-3 {
+			delete(r.hist, s)
+		}
+	}
+}
+
+// stashPut stores a data envelope that belongs to a future exchange.
+func (r *Rank) stashPut(env envelope) {
+	if r.stash == nil {
+		r.stash = map[int]map[int64]envelope{}
+	}
+	if r.stash[env.From] == nil {
+		r.stash[env.From] = map[int64]envelope{}
+	}
+	r.stash[env.From][env.Seq] = env
+}
+
+// stashTake retrieves (and removes) a stashed data envelope.
+func (r *Rank) stashTake(from int, seq int64) (envelope, bool) {
+	m := r.stash[from]
+	if m == nil {
+		return envelope{}, false
+	}
+	env, ok := m[seq]
+	if ok {
+		delete(m, seq)
+	}
+	return env, ok
+}
+
+// verifySum checks a data envelope's checksum against its payload.
+func verifySum(env envelope) bool {
+	if !env.HasSum {
+		return true
+	}
+	cs, ok := env.Payload.(Checksummer)
+	if !ok {
+		return false
+	}
+	return cs.Checksum64() == env.Sum
+}
+
+// ExchangeReliable performs a neighbour exchange with retransmission:
+// each rank sends payload[n] to every neighbour n and returns the
+// verified payloads received from each, keyed by source. Unlike
+// ExchangeCounts it tolerates the FaultPlan fault model — dropped,
+// delayed and corrupted envelopes and stalled peers — recovering via
+// acknowledgements, checksums and bounded retries, and it never
+// deadlocks: when the retry budget is exhausted it returns a typed
+// *ExchangeError and the caller must abort the operation.
+//
+// All ranks must call it collectively with symmetric neighbour lists and
+// in the same collective order (the per-rank sequence number identifies
+// the exchange). sc, when non-nil, accumulates exchange telemetry:
+// "exchanges"/"retries"/"resends_served"/"corrupt_rejected"/
+// "duplicates"/"recovered_exchanges"/"exchange_failures" counters and an
+// "exchange" timer.
+func (r *Rank) ExchangeReliable(neighbors []int, payload map[int]interface{}, pol RetryPolicy, sc *telemetry.Scope) (map[int]interface{}, error) {
+	pol = pol.normalized()
+	telStart := sc.Timer("exchange").Start()
+	seq := r.seq
+	r.seq++
+	if fp := r.W.fault; fp != nil {
+		fp.maybeStall(r.ID, seq)
+	}
+	r.rememberSent(seq, payload)
+
+	got := make(map[int]interface{}, len(neighbors))
+	pending := make(map[int]bool, len(neighbors)) // awaiting data from
+	unacked := make(map[int]bool, len(neighbors)) // awaiting ack from
+	for _, n := range neighbors {
+		pending[n] = true
+		unacked[n] = true
+	}
+
+	accept := func(env envelope) {
+		if !verifySum(env) {
+			sc.Counter("corrupt_rejected").Inc()
+			// Ask for a pristine copy right away.
+			r.sendEnvelope(env.From, envelope{Kind: envResend, Seq: env.Seq, From: r.ID})
+			return
+		}
+		if pending[env.From] {
+			got[env.From] = env.Payload
+			delete(pending, env.From)
+		} else {
+			sc.Counter("duplicates").Inc()
+		}
+		r.sendEnvelope(env.From, envelope{Kind: envAck, Seq: env.Seq, From: r.ID})
+	}
+
+	// Adopt data that arrived early (stashed during a previous exchange).
+	for _, n := range neighbors {
+		if env, ok := r.stashTake(n, seq); ok {
+			accept(env)
+		}
+	}
+
+	handle := func(env envelope) {
+		switch env.Kind {
+		case envData:
+			switch {
+			case env.Seq == seq:
+				accept(env)
+			case env.Seq < seq:
+				// Late retransmission of an older exchange: the peer
+				// missed our ack — re-ack so it can make progress.
+				sc.Counter("duplicates").Inc()
+				r.sendEnvelope(env.From, envelope{Kind: envAck, Seq: env.Seq, From: r.ID})
+			default:
+				r.stashPut(env)
+			}
+		case envAck:
+			if env.Seq == seq {
+				delete(unacked, env.From)
+			}
+		case envResend:
+			if sent, ok := r.hist[env.Seq]; ok {
+				sc.Counter("resends_served").Inc()
+				r.sendEnvelope(env.From, r.dataEnvelope(env.Seq, sent[env.From]))
+			}
+		}
+	}
+
+	// First transmission.
+	for _, n := range neighbors {
+		r.sendEnvelope(n, r.dataEnvelope(seq, payload[n]))
+	}
+
+	timeout := pol.Timeout
+	attempts := 0
+	for {
+		slice := timeout / time.Duration(4*len(neighbors)+1)
+		if slice < 200*time.Microsecond {
+			slice = 200 * time.Microsecond
+		}
+		deadline := time.Now().Add(timeout)
+		for (len(pending) > 0 || len(unacked) > 0) && time.Now().Before(deadline) {
+			for _, n := range neighbors {
+				if v, ok := r.RecvTimeout(n, slice); ok {
+					if env, ok := v.(envelope); ok {
+						handle(env)
+					}
+				}
+			}
+		}
+		if len(pending) == 0 && len(unacked) == 0 {
+			sc.Timer("exchange").Stop(telStart)
+			sc.Counter("exchanges").Inc()
+			if attempts > 0 {
+				sc.Counter("recovered_exchanges").Inc()
+			}
+			return got, nil
+		}
+		if attempts >= pol.MaxRetries {
+			break
+		}
+		attempts++
+		sc.Counter("retries").Inc()
+		// Retransmit our data to neighbours that have not acked, and
+		// request resends from neighbours we have not heard from.
+		for n := range unacked {
+			r.sendEnvelope(n, r.dataEnvelope(seq, payload[n]))
+		}
+		for n := range pending {
+			r.sendEnvelope(n, envelope{Kind: envResend, Seq: seq, From: r.ID})
+		}
+		timeout = time.Duration(float64(timeout) * pol.Backoff)
+	}
+	sc.Timer("exchange").Stop(telStart)
+	sc.Counter("exchange_failures").Inc()
+	err := &ExchangeError{Rank: r.ID, Seq: seq, Attempts: attempts + 1}
+	for n := range pending {
+		err.MissingData = append(err.MissingData, n)
+	}
+	for n := range unacked {
+		err.MissingAcks = append(err.MissingAcks, n)
+	}
+	sort.Ints(err.MissingData)
+	sort.Ints(err.MissingAcks)
+	return nil, err
+}

@@ -97,7 +97,9 @@ func TestConcurrentParAndHaloStress(t *testing.T) {
 				sc := mpmScope.Child("rank" + string(rune('0'+r.ID)))
 				stop := sc.Timer("apply").Start()
 				y := la.NewVec(n)
-				DistributedViscousApply(r, d, prob, fem.NewTensor(prob), u, y)
+				if err := DistributedViscousApply(r, d, prob, fem.NewTensor(prob), u, y, sc); err != nil {
+					t.Errorf("rank %d: %v", r.ID, err)
+				}
 				sc.Timer("apply").Stop(stop)
 				sc.Counter("applies").Inc()
 				resMu.Lock()

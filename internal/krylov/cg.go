@@ -20,12 +20,19 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 	res := Result{Residual0: r.Norm2()}
 	rn := res.Residual0
 	res.record(prm, rn)
+	if k := badNorm(rn); k != 0 {
+		res.fail(prm, "cg", k, 0, rn)
+		res.Residual = rn
+		res.finish(prm, telStart)
+		return res
+	}
 	if converged(prm, rn, res.Residual0) {
 		res.Converged = true
 		res.Residual = rn
 		res.finish(prm, telStart)
 		return res
 	}
+	stag := newStagGuard(prm)
 	m.Apply(r, z)
 	p.Copy(z)
 	rz := r.Dot(z)
@@ -33,7 +40,11 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 		a.Apply(p, ap)
 		den := p.Dot(ap)
 		if den == 0 || rz == 0 {
-			res.Breakdown = true
+			res.fail(prm, "cg", BreakdownZeroPivot, it, den)
+			break
+		}
+		if k := badNorm(den); k != 0 {
+			res.fail(prm, "cg", k, it, den)
 			break
 		}
 		alpha := rz / den
@@ -42,12 +53,20 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 		rn = r.Norm2()
 		res.Iterations = it
 		res.record(prm, rn)
+		if k := badNorm(rn); k != 0 {
+			res.fail(prm, "cg", k, it, rn)
+			break
+		}
 		if r.HasNaN() {
-			res.Breakdown = true
+			res.fail(prm, "cg", BreakdownNaN, it, rn)
 			break
 		}
 		if converged(prm, rn, res.Residual0) {
 			res.Converged = true
+			break
+		}
+		if stag.stalled(rn) {
+			res.fail(prm, "cg", BreakdownStagnation, it, rn)
 			break
 		}
 		m.Apply(r, z)
@@ -86,8 +105,12 @@ func Richardson(a Op, m Preconditioner, b, x la.Vec, omega float64, prm Params) 
 		rn = r.Norm2()
 		res.Iterations = it
 		res.record(prm, rn)
+		if k := badNorm(rn); k != 0 {
+			res.fail(prm, "richardson", k, it, rn)
+			break
+		}
 		if r.HasNaN() {
-			res.Breakdown = true
+			res.fail(prm, "richardson", BreakdownNaN, it, rn)
 			break
 		}
 	}

@@ -1,6 +1,8 @@
 package krylov
 
-import "ptatin3d/internal/la"
+import (
+	"ptatin3d/internal/la"
+)
 
 // GCR solves A·x = b by the generalized conjugate residual method with
 // truncation/restart length prm.Restart. GCR is flexible (the
@@ -25,12 +27,19 @@ func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, 
 	if callback != nil {
 		callback(0, r)
 	}
+	if k := badNorm(rn); k != 0 {
+		res.fail(prm, "gcr", k, 0, rn)
+		res.Residual = rn
+		res.finish(prm, telStart)
+		return res
+	}
 	if converged(prm, rn, res.Residual0) {
 		res.Converged = true
 		res.Residual = rn
 		res.finish(prm, telStart)
 		return res
 	}
+	stag := newStagGuard(prm)
 
 	zs := make([]la.Vec, 0, mr) // search directions (preconditioned)
 	qs := make([]la.Vec, 0, mr) // A·z, orthonormalized
@@ -48,7 +57,7 @@ func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, 
 		}
 		qn := q.Norm2()
 		if qn == 0 {
-			res.Breakdown = true
+			res.fail(prm, "gcr", BreakdownZeroPivot, it, qn)
 			break
 		}
 		q.Scale(1 / qn)
@@ -62,12 +71,20 @@ func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, 
 		if callback != nil {
 			callback(it, r)
 		}
+		if k := badNorm(rn); k != 0 {
+			res.fail(prm, "gcr", k, it, rn)
+			break
+		}
 		if r.HasNaN() {
-			res.Breakdown = true
+			res.fail(prm, "gcr", BreakdownNaN, it, rn)
 			break
 		}
 		if converged(prm, rn, res.Residual0) {
 			res.Converged = true
+			break
+		}
+		if stag.stalled(rn) {
+			res.fail(prm, "gcr", BreakdownStagnation, it, rn)
 			break
 		}
 		// Store the direction; restart (truncate) when full.

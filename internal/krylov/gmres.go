@@ -16,6 +16,10 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 	n := a.N()
 	mr := prm.restart()
 	telStart := prm.begin()
+	method := "gmres"
+	if flexible {
+		method = "fgmres"
+	}
 
 	r := la.NewVec(n)
 	w := la.NewVec(n)
@@ -24,12 +28,19 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 	res := Result{Residual0: r.Norm2()}
 	rn := res.Residual0
 	res.record(prm, rn)
+	if k := badNorm(rn); k != 0 {
+		res.fail(prm, method, k, 0, rn)
+		res.Residual = rn
+		res.finish(prm, telStart)
+		return res
+	}
 	if converged(prm, rn, res.Residual0) || rn == 0 {
 		res.Converged = true
 		res.Residual = rn
 		res.finish(prm, telStart)
 		return res
 	}
+	stag := newStagGuard(prm)
 
 	v := make([]la.Vec, mr+1)
 	for i := range v {
@@ -54,6 +65,11 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 		a.Apply(x, r)
 		r.AYPX(-1, b)
 		beta := r.Norm2()
+		if k := badNorm(beta); k != 0 {
+			res.fail(prm, method, k, it, beta)
+			rn = beta
+			break
+		}
 		if converged(prm, beta, res.Residual0) {
 			res.Converged = true
 			rn = beta
@@ -97,7 +113,7 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 			// New rotation to annihilate h[j+1][j].
 			den := math.Hypot(h[j*mr+j], hj1)
 			if den == 0 {
-				res.Breakdown = true
+				res.fail(prm, method, BreakdownZeroPivot, it, den)
 				j++
 				break
 			}
@@ -109,14 +125,19 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 			rn = math.Abs(g[j+1])
 			res.Iterations = it
 			res.record(prm, rn)
-			if math.IsNaN(rn) {
-				res.Breakdown = true
+			if k := badNorm(rn); k != 0 {
+				res.fail(prm, method, k, it, rn)
 				j++
 				break
 			}
 			if converged(prm, rn, res.Residual0) {
 				j++
 				res.Converged = true
+				break
+			}
+			if stag.stalled(rn) {
+				res.fail(prm, method, BreakdownStagnation, it, rn)
+				j++
 				break
 			}
 		}

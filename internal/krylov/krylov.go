@@ -71,6 +71,12 @@ type Params struct {
 	Restart int     // restart length for GMRES/FGMRES/GCR (0 = 30)
 	History bool    // record per-iteration residual norms
 
+	// StagnationWindow, when > 0, declares a stagnation breakdown after
+	// that many consecutive iterations without any residual improvement
+	// (typed BreakdownStagnation through Result.Err). 0 disables the
+	// check, preserving the plain run-to-MaxIt behaviour.
+	StagnationWindow int
+
 	// Telemetry, when non-nil, receives structured solve instrumentation:
 	// a "residual" series with one sample per recorded residual norm, a
 	// "solve" timer, "solves"/"iterations"/"converged" counters and
@@ -101,6 +107,10 @@ type Result struct {
 	Residual0  float64   // initial residual norm
 	History    []float64 // per-iteration residual norms if requested
 	Breakdown  bool      // NaN/Inf or zero denominators encountered
+	Stagnated  bool      // stagnation window tripped (see Params)
+	// Err carries the typed *BreakdownError when Breakdown is set; nil
+	// on clean convergence or a plain iteration-limit stop.
+	Err error
 }
 
 func (r *Result) record(p Params, rn float64) {

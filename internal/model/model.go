@@ -226,8 +226,15 @@ func (m *Model) SolveStokes() (nonlinear.Result, error) {
 		InnerParams: m.Cfg.Params,
 	}
 	res := nonlinear.Solve(sys, m.X, m.Nonlinear)
+	if tel := m.Telemetry; tel != nil {
+		tel.Counter("solver_breakdowns").Add(int64(res.Breakdowns))
+		tel.Counter("solver_fallbacks").Add(int64(res.Fallbacks))
+	}
 	if buildErr != nil {
 		return res, fmt.Errorf("model: preconditioner setup: %w", buildErr)
+	}
+	if res.Err != nil {
+		return res, fmt.Errorf("model: stokes solve: %w", res.Err)
 	}
 	return res, nil
 }

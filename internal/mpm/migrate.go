@@ -1,6 +1,9 @@
 package mpm
 
 import (
+	"fmt"
+	"math/rand"
+
 	"ptatin3d/internal/comm"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/telemetry"
@@ -24,6 +27,40 @@ func (pk *PointPacket) add(pts *Points, i int) {
 
 // Len returns the number of packed points.
 func (pk *PointPacket) Len() int { return len(pk.X) }
+
+// Checksum64 implements comm.Checksummer so migrating point payloads are
+// integrity-checked in flight.
+func (pk *PointPacket) Checksum64() uint64 {
+	h := comm.HashFloats(comm.HashSeed, pk.X)
+	h = comm.HashFloats(h, pk.Y)
+	h = comm.HashFloats(h, pk.Z)
+	h = comm.HashInt32s(h, pk.Litho)
+	return comm.HashFloats(h, pk.Plastic)
+}
+
+// CorruptCopy implements comm.Corrupter: a deep copy with one coordinate
+// perturbed (or a spurious point appended when empty), modelling payload
+// corruption of the Ls migration list.
+func (pk *PointPacket) CorruptCopy(rng *rand.Rand) interface{} {
+	c := &PointPacket{
+		X:       append([]float64(nil), pk.X...),
+		Y:       append([]float64(nil), pk.Y...),
+		Z:       append([]float64(nil), pk.Z...),
+		Litho:   append([]int32(nil), pk.Litho...),
+		Plastic: append([]float64(nil), pk.Plastic...),
+	}
+	if c.Len() > 0 {
+		i := rng.Intn(c.Len())
+		c.X[i] += 0.5 + rng.Float64()
+	} else {
+		c.X = append(c.X, rng.Float64())
+		c.Y = append(c.Y, rng.Float64())
+		c.Z = append(c.Z, rng.Float64())
+		c.Litho = append(c.Litho, 0)
+		c.Plastic = append(c.Plastic, 0)
+	}
+	return c
+}
 
 // MigrateStats summarizes one migration round.
 type MigrateStats struct {
@@ -49,7 +86,15 @@ type MigrateStats struct {
 // counters and a "migrate" timer across rounds. Each rank should use its
 // own scope (or child) — scopes are safe for concurrent recording, but
 // per-rank children keep the numbers attributable.
-func Migrate(r *comm.Rank, d *comm.Decomp, prob *fem.Problem, pts *Points, sc *telemetry.Scope) MigrateStats {
+//
+// The Ls/Lr shipment runs over the reliable exchange protocol with the
+// world's retry policy: dropped or corrupted point payloads are detected
+// (checksummed) and retransmitted; an exchange that cannot complete
+// within the retry budget returns a typed error wrapping
+// *comm.ExchangeError, with the local point population left in its
+// pre-shipment state minus the points already packed into Ls (the caller
+// must abort the step).
+func Migrate(r *comm.Rank, d *comm.Decomp, prob *fem.Problem, pts *Points, sc *telemetry.Scope) (MigrateStats, error) {
 	telStart := sc.Timer("migrate").Start()
 	var st MigrateStats
 	nbrs := d.Neighbors(r.ID)
@@ -77,7 +122,12 @@ func Migrate(r *comm.Rank, d *comm.Decomp, prob *fem.Problem, pts *Points, sc *t
 	for _, n := range nbrs {
 		payload[n] = &ls
 	}
-	recv := r.ExchangeCounts(nbrs, payload)
+	recv, err := r.ExchangeReliable(nbrs, payload, r.Policy(), sc)
+	if err != nil {
+		sc.Timer("migrate").Stop(telStart)
+		sc.Counter("migrate_failures").Inc()
+		return st, fmt.Errorf("mpm: point migration exchange: %w", err)
+	}
 
 	// Process Lr: adopt points whose containing element is ours.
 	for _, n := range nbrs {
@@ -98,5 +148,5 @@ func Migrate(r *comm.Rank, d *comm.Decomp, prob *fem.Problem, pts *Points, sc *t
 	sc.Counter("sent").Add(int64(st.Sent))
 	sc.Counter("received").Add(int64(st.Received))
 	sc.Counter("deleted").Add(int64(st.Deleted))
-	return st
+	return st, nil
 }

@@ -286,7 +286,10 @@ func TestMigrateProtocol(t *testing.T) {
 		_ = r.AllReduceSum(0) // warm the reduction path
 		AdvectRK2(p, u, 0.5, local, 1)
 		sc := reg.Root().Child("mpm").Child(fmt.Sprintf("rank%d", r.ID))
-		st := Migrate(r, d, p, local, sc)
+		st, err := Migrate(r, d, p, local, sc)
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID, err)
+		}
 		states[r.ID] = rankState{pts: local, st: st, tot: n0}
 	})
 	for _, s := range states {

@@ -9,6 +9,7 @@
 package nonlinear
 
 import (
+	"fmt"
 	"math"
 
 	"ptatin3d/internal/krylov"
@@ -69,6 +70,12 @@ type Result struct {
 	FNorm0     float64   // initial residual norm
 	History    []float64 // ‖F‖ after each outer iteration (incl. initial)
 	Stagnated  bool      // line search failed to reduce ‖F‖
+	Breakdowns int       // inner Krylov breakdowns encountered
+	Fallbacks  int       // breakdowns recovered by switching Krylov method
+	// Err carries the typed inner breakdown (*krylov.BreakdownError in
+	// its chain) when even the fallback method broke down and the outer
+	// iteration had to abort.
+	Err error
 }
 
 // Solve runs the inexact Newton (or Picard — determined by what Prepare
@@ -141,13 +148,34 @@ func Solve(sys System, x la.Vec, opt Options) Result {
 		rhs := f.Clone()
 		rhs.Scale(-1)
 		delta.Zero()
-		var kres krylov.Result
-		if sys.Method == "gcr" {
-			kres = krylov.GCR(jop, pc, rhs, delta, prm, nil)
-		} else {
-			kres = krylov.FGMRES(jop, pc, rhs, delta, prm)
+		inner := func(method string) krylov.Result {
+			if method == "gcr" {
+				return krylov.GCR(jop, pc, rhs, delta, prm, nil)
+			}
+			return krylov.FGMRES(jop, pc, rhs, delta, prm)
 		}
+		kres := inner(sys.Method)
 		res.KrylovIts += kres.Iterations
+		if kres.Err != nil {
+			// Inner breakdown (NaN/Inf, zero pivot, stagnation): discard the
+			// poisoned direction and retry once with the alternate Krylov
+			// method before giving up on this outer iteration.
+			res.Breakdowns++
+			alt := "gcr"
+			if sys.Method == "gcr" {
+				alt = "fgmres"
+			}
+			delta.Zero()
+			kres = inner(alt)
+			res.KrylovIts += kres.Iterations
+			if kres.Err != nil {
+				res.Err = fmt.Errorf("nonlinear: outer iteration %d: inner solve broke down with %q and fallback %q: %w",
+					it, sys.Method, alt, kres.Err)
+				res.Iterations = it
+				break
+			}
+			res.Fallbacks++
+		}
 
 		// Backtracking line search on ‖F‖ (sufficient decrease with a
 		// tiny Armijo constant, standard for Newton–Krylov).

@@ -281,12 +281,32 @@ func (s *Solver) Solve(x, bu la.Vec, mon *Monitor) krylov.Result {
 			mon.Pressure = append(mon.Pressure, pN)
 		}
 	}
-	var res krylov.Result
-	switch s.Cfg.OuterMethod {
-	case "fgmres":
-		res = krylov.FGMRES(s.MatMult, s.PCApply, f, delta, s.Cfg.Params)
-	default:
-		res = krylov.GCR(s.MatMult, s.PCApply, f, delta, s.Cfg.Params, cb)
+	run := func(method string) krylov.Result {
+		if method == "fgmres" {
+			return krylov.FGMRES(s.MatMult, s.PCApply, f, delta, s.Cfg.Params)
+		}
+		return krylov.GCR(s.MatMult, s.PCApply, f, delta, s.Cfg.Params, cb)
+	}
+	res := run(s.Cfg.OuterMethod)
+	if res.Err != nil {
+		// Breakdown recovery: discard the poisoned correction and rerun
+		// once with the alternate outer method. The field-split
+		// preconditioner is nonlinear, so both GCR and FGMRES are legal;
+		// they fail differently (explicit residual vs. Arnoldi recurrence),
+		// which is exactly what makes the switch worth trying.
+		outer := s.Tel.Child("outer")
+		outer.Counter("breakdown_recoveries").Inc()
+		alt := "fgmres"
+		if s.Cfg.OuterMethod == "fgmres" {
+			alt = "gcr"
+		}
+		prevIts := res.Iterations
+		delta.Zero()
+		res = run(alt)
+		res.Iterations += prevIts
+		if res.Err == nil {
+			outer.Counter("breakdowns_recovered").Inc()
+		}
 	}
 	x.AXPY(1, delta)
 	return res

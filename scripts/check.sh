@@ -1,10 +1,12 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Tier-1 gate for the repository (see README.md): formatting, vet, build,
-# the full test suite, and a short-mode pass under the race detector.
+# the full test suite, a short-mode pass under the race detector, a racy
+# re-run of the comm fault/recovery protocol tests, and short fuzz smoke
+# passes over the decomposition index math and the checkpoint decoder.
 # Every PR must leave this script exiting 0.
 #
 # Usage: scripts/check.sh  (from the repository root or any subdirectory)
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -27,5 +29,12 @@ go test ./...
 
 echo "== go test -short -race =="
 go test -short -race ./...
+
+echo "== fault/recovery protocol under -race =="
+go test -race -run 'Fault|Reliable|Migrate|Recv' ./internal/comm ./internal/mpm
+
+echo "== fuzz smoke =="
+go test ./internal/comm -run='^$' -fuzz=FuzzDecompIndexMath -fuzztime=5s
+go test ./internal/chkpt -run='^$' -fuzz=FuzzDecode -fuzztime=5s
 
 echo "OK"
