@@ -25,6 +25,7 @@ import (
 	"ptatin3d/internal/mesh"
 	"ptatin3d/internal/mg"
 	"ptatin3d/internal/model"
+	"ptatin3d/internal/op"
 	"ptatin3d/internal/par"
 	"ptatin3d/internal/stokes"
 	"ptatin3d/internal/telemetry"
@@ -114,13 +115,13 @@ func BenchmarkFig2_Contrast100(b *testing.B)   { sinkerSolveBench(b, 8, 100, nil
 func BenchmarkFig2_Contrast10000(b *testing.B) { sinkerSolveBench(b, 8, 10000, nil) }
 
 func BenchmarkTableII_SolveAsmb(b *testing.B) {
-	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.FineKind = mg.AssembledSpMV })
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.FineKind = op.Assembled })
 }
 func BenchmarkTableII_SolveMF(b *testing.B) {
-	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.FineKind = mg.MatrixFreeRef })
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.FineKind = op.MFRef })
 }
 func BenchmarkTableII_SolveTens(b *testing.B) {
-	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.FineKind = mg.MatrixFreeTensor })
+	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) { c.FineKind = op.Tensor })
 }
 
 // Table III's "MG res" rows measure the fine-level residual evaluation of
@@ -140,28 +141,28 @@ func BenchmarkTableIII_MGResTensor(b *testing.B) { opBench(b, fem.NewTensor(tabl
 func BenchmarkTableIV_GMGi(b *testing.B) { sinkerSolveBench(b, 8, 100, nil) }
 func BenchmarkTableIV_GMGii(b *testing.B) {
 	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) {
-		c.FineKind = mg.AssembledSpMV
+		c.FineKind = op.Assembled
 		c.GalerkinAll = true
 	})
 }
 func BenchmarkTableIV_SAi(b *testing.B) {
 	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) {
 		c.Levels = 1
-		c.FineKind = mg.AssembledSpMV
+		c.FineKind = op.Assembled
 		c.AMGConfig = "gamg"
 	})
 }
 func BenchmarkTableIV_SAMLi(b *testing.B) {
 	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) {
 		c.Levels = 1
-		c.FineKind = mg.AssembledSpMV
+		c.FineKind = op.Assembled
 		c.AMGConfig = "ml"
 	})
 }
 func BenchmarkTableIV_SAMLii(b *testing.B) {
 	sinkerSolveBench(b, 8, 100, func(c *stokes.Config) {
 		c.Levels = 1
-		c.FineKind = mg.AssembledSpMV
+		c.FineKind = op.Assembled
 		c.AMGConfig = "mlstrong"
 	})
 }

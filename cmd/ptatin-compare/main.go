@@ -17,8 +17,8 @@ import (
 
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
-	"ptatin3d/internal/mg"
 	"ptatin3d/internal/model"
+	"ptatin3d/internal/op"
 	"ptatin3d/internal/stokes"
 )
 
@@ -38,29 +38,29 @@ func main() {
 			// Paper's preferred configuration: matrix-free tensor fine
 			// level, rediscretized middle, Galerkin coarsest, GAMG coarse
 			// solve.
-			c.FineKind = mg.MatrixFreeTensor
+			c.FineKind = op.Tensor
 			c.CoarseSolver = "gamg"
 		}},
 		{"GMG-ii", func(c *stokes.Config) {
 			// Fully assembled: fine level assembled, all coarse operators
 			// Galerkin.
-			c.FineKind = mg.AssembledSpMV
+			c.FineKind = op.Assembled
 			c.GalerkinAll = true
 			c.CoarseSolver = "gamg"
 		}},
 		{"SA-i", func(c *stokes.Config) {
 			c.Levels = 1
-			c.FineKind = mg.AssembledSpMV
+			c.FineKind = op.Assembled
 			c.AMGConfig = "gamg"
 		}},
 		{"SAML-i", func(c *stokes.Config) {
 			c.Levels = 1
-			c.FineKind = mg.AssembledSpMV
+			c.FineKind = op.Assembled
 			c.AMGConfig = "ml"
 		}},
 		{"SAML-ii", func(c *stokes.Config) {
 			c.Levels = 1
-			c.FineKind = mg.AssembledSpMV
+			c.FineKind = op.Assembled
 			c.AMGConfig = "mlstrong"
 		}},
 	}

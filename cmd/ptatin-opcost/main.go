@@ -6,26 +6,38 @@
 // Usage:
 //
 //	ptatin-opcost [-m 16] [-workers 4] [-reps 5] [-telemetry] [-cpuprofile out.pprof]
+//	ptatin-opcost -json [-grids 4,8,12,16] [-op mf] [-workers 4] [-reps 5]
 //
 // With -telemetry the tool additionally runs a multigrid-preconditioned
 // Stokes solve on the same deformed mesh and emits the telemetry registry
 // twice: a Table-IV-shaped per-component breakdown (calls / wall time /
 // time per call, including per-MG-level smoother and operator counts) and
 // the full JSON snapshot.
+//
+// With -json the tool instead sweeps the unified operator backends of
+// internal/op (tensor matrix-free, reference matrix-free, rediscretized
+// CSR, and — where a 2× finer mesh is affordable — the Galerkin product)
+// over the -grids level sizes and emits a machine-readable benchmark
+// (apply time, MDoF/s, setup time per backend per size) on stdout; this is
+// the producer behind scripts/bench.sh's BENCH_PR3.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mesh"
 	"ptatin3d/internal/mg"
+	"ptatin3d/internal/op"
 	"ptatin3d/internal/par"
 	"ptatin3d/internal/perfmodel"
 	"ptatin3d/internal/stokes"
@@ -37,8 +49,16 @@ func main() {
 	workers := flag.Int("workers", 1, "worker goroutines")
 	reps := flag.Int("reps", 5, "timing repetitions (best-of)")
 	telFlag := flag.Bool("telemetry", false, "run an instrumented MG Stokes solve and emit the telemetry table + JSON")
+	jsonFlag := flag.Bool("json", false, "emit the machine-readable per-backend benchmark (BENCH_PR3 schema) and exit")
+	grids := flag.String("grids", "4,8,12", "comma-separated level sizes for -json")
+	opFlag := flag.String("op", "", "restrict -json to one backend (mf|mfref|asm|galerkin)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *jsonFlag {
+		runJSONBench(*grids, *opFlag, *workers, *reps)
+		return
+	}
 
 	if *cpuprofile != "" {
 		stop, err := telemetry.StartCPUProfile(*cpuprofile)
@@ -48,17 +68,8 @@ func main() {
 		defer stop()
 	}
 
-	da := mesh.New(*m, *m, *m, 0, 1, 0, 1, 0, 1)
-	da.Deform(func(x, y, z float64) (float64, float64, float64) {
-		return x + 0.05*math.Sin(math.Pi*y), y + 0.04*math.Sin(math.Pi*z), z + 0.03*x*y
-	})
-	bc := mesh.NewBC(da)
-	bc.FreeSlipBox(da, mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin)
-	p := fem.NewProblem(da, bc)
-	p.Workers = *workers
-	p.SetCoefficientsFunc(func(x, y, z float64) float64 {
-		return math.Exp(2 * math.Sin(3*x) * math.Cos(2*y))
-	}, nil)
+	p := benchProblem(*m, *workers)
+	da := p.DA
 
 	nel := float64(da.NElements())
 	n := da.NVelDOF()
@@ -200,6 +211,131 @@ func runTelemetrySolve(p *fem.Problem, workers int) {
 	reg.WriteTable(os.Stdout)
 	fmt.Println("\n## Telemetry (JSON)")
 	if err := reg.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// benchProblem builds the Table-I deformed variable-viscosity problem at
+// size m (shared by the default mode and the -json sweep).
+func benchProblem(m, workers int) *fem.Problem {
+	da := mesh.New(m, m, m, 0, 1, 0, 1, 0, 1)
+	da.Deform(func(x, y, z float64) (float64, float64, float64) {
+		return x + 0.05*math.Sin(math.Pi*y), y + 0.04*math.Sin(math.Pi*z), z + 0.03*x*y
+	})
+	bc := mesh.NewBC(da)
+	bc.FreeSlipBox(da, mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin)
+	p := fem.NewProblem(da, bc)
+	p.Workers = workers
+	p.SetCoefficientsFunc(func(x, y, z float64) float64 {
+		return math.Exp(2 * math.Sin(3*x) * math.Cos(2*y))
+	}, nil)
+	return p
+}
+
+// benchRecord is one (backend, size) measurement in the BENCH_PR3 schema.
+type benchRecord struct {
+	M        int     `json:"m"`
+	N        int     `json:"n"`
+	Backend  string  `json:"backend"`
+	ApplyMs  float64 `json:"apply_ms"`
+	MDoFPerS float64 `json:"mdof_per_s"`
+	SetupMs  float64 `json:"setup_ms"`
+}
+
+// runJSONBench times each internal/op backend's Apply at each level size
+// and writes the BENCH_PR3 JSON document to stdout. The Galerkin backend
+// needs an assembled 2× finer mesh, so it is only benchmarked at sizes
+// where that matrix stays affordable.
+func runJSONBench(grids, only string, workers, reps int) {
+	var restrict op.Kind
+	restricted := false
+	if only != "" {
+		k, err := op.ParseKind(only)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if k == op.Auto {
+			log.Fatal("ptatin-opcost -json: auto is a selector, not a backend; pick mf|mfref|asm|galerkin")
+		}
+		restrict, restricted = k, true
+	}
+	var records []benchRecord
+	for _, f := range strings.Split(grids, ",") {
+		m, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatalf("bad grid list %q: %v", grids, err)
+		}
+		p := benchProblem(m, workers)
+		kinds := []op.Kind{op.Tensor, op.MFRef, op.Assembled}
+		if 2*m <= 16 {
+			kinds = append(kinds, op.Galerkin)
+		}
+		for _, k := range kinds {
+			if restricted && k != restrict {
+				continue
+			}
+			env := op.Env{Prob: p, Workers: workers}
+			if k == op.Galerkin {
+				fine := benchProblem(2*m, workers)
+				var fineA *la.CSR
+				env.FineCSR = func() *la.CSR {
+					if fineA == nil {
+						fineA = fem.AssembleViscous(fine)
+					}
+					return fineA
+				}
+				prol := mg.NewProlongation(fine.DA, p.DA, fine.BC, p.BC)
+				env.Prolong = prol.ToCSR
+			}
+			o, err := op.New(k, env)
+			if err != nil {
+				log.Fatalf("m=%d %v: %v", m, k, err)
+			}
+			setupStart := time.Now()
+			if err := o.Setup(); err != nil {
+				log.Fatalf("m=%d %v setup: %v", m, k, err)
+			}
+			setup := time.Since(setupStart)
+			n := o.N()
+			u, y := la.NewVec(n), la.NewVec(n)
+			for i := range u {
+				u[i] = math.Sin(float64(i))
+			}
+			o.Apply(u, y) // warm up
+			best := time.Duration(1 << 62)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				o.Apply(u, y)
+				if el := time.Since(start); el < best {
+					best = el
+				}
+			}
+			records = append(records, benchRecord{
+				M:        m,
+				N:        n,
+				Backend:  k.String(),
+				ApplyMs:  best.Seconds() * 1e3,
+				MDoFPerS: float64(n) / best.Seconds() / 1e6,
+				SetupMs:  setup.Seconds() * 1e3,
+			})
+		}
+	}
+	mach := perfmodel.CalibratedMachine()
+	doc := struct {
+		Schema  string `json:"schema"`
+		Workers int    `json:"workers"`
+		Reps    int    `json:"reps"`
+		Machine struct {
+			StreamGBs float64 `json:"stream_gb_per_s"`
+			FlopGFs   float64 `json:"flop_gf_per_s"`
+		} `json:"machine"`
+		Results []benchRecord `json:"results"`
+	}{Schema: "BENCH_PR3", Workers: workers, Reps: reps, Results: records}
+	doc.Machine.StreamGBs = mach.StreamBW / 1e9
+	doc.Machine.FlopGFs = mach.FlopRate / 1e9
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
 		log.Fatal(err)
 	}
 }

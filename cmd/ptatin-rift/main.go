@@ -21,8 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"ptatin3d/internal/model"
+	"ptatin3d/internal/op"
 )
 
 func main() {
@@ -31,6 +33,7 @@ func main() {
 	mz := flag.Int("mz", 16, "elements in z (paper: 128)")
 	steps := flag.Int("steps", 5, "time steps (paper: 1500-2000)")
 	workers := flag.Int("workers", 4, "worker goroutines")
+	opFlag := flag.String("op", "", "fine-level operator representation (auto|mf|mfref|asm|galerkin)")
 	oblique := flag.Bool("oblique", false, "apply z-shortening (BC variant ii)")
 	weak := flag.Float64("weak", 0.05, "lower-crust viscosity (nondim)")
 	snapshot := flag.Bool("snapshot", false, "write Figure 3 VTK output")
@@ -48,6 +51,15 @@ func main() {
 		o.ObliqueShortening = 0.1
 	}
 	m := model.NewRift(o)
+	fineKind := op.Tensor
+	if *opFlag != "" {
+		k, err := op.ParseKind(*opFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fineKind = k
+		m.Cfg.FineKind = k
+	}
 	if *restartFrom != "" {
 		if err := m.LoadCheckpoint(*restartFrom); err != nil {
 			log.Fatalf("restart: %v", err)
@@ -75,6 +87,13 @@ func main() {
 				log.Fatalf("checkpoint: %v", err)
 			}
 			fmt.Printf("# checkpointed step %d to %s\n", m.StepNum, *ckptPath)
+		}
+	}
+
+	if fineKind == op.Auto && m.LastStokes != nil {
+		fmt.Fprintln(os.Stderr, "# operator auto-selection")
+		for _, d := range m.LastStokes.SelectionReport() {
+			fmt.Fprintln(os.Stderr, "#   "+d.Summary())
 		}
 	}
 

@@ -22,7 +22,7 @@ import (
 	"os"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
-	"ptatin3d/internal/mg"
+	"ptatin3d/internal/op"
 
 	"ptatin3d/internal/model"
 	"ptatin3d/internal/par"
@@ -50,6 +50,7 @@ func main() {
 	grids := flag.String("grids", "8,12,16", "comma-separated grid sizes (elements/direction)")
 	cores := flag.String("cores", "1,2,4", "comma-separated worker counts")
 	deta := flag.Float64("deta", 100, "viscosity contrast")
+	opFlag := flag.String("op", "", "restrict the sweep to one fine-level representation (auto|mf|mfref|asm|galerkin); default sweeps asm, mfref and mf")
 	telFlag := flag.Bool("telemetry", false, "emit the per-run telemetry table + JSON after the sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -71,15 +72,27 @@ func main() {
 	for _, c := range perfmodel.ReproCounts() {
 		counts[c.Name] = c
 	}
-	kindName := map[mg.LevelKind]string{
-		mg.AssembledSpMV:    "Asmb",
-		mg.MatrixFreeRef:    "MF",
-		mg.MatrixFreeTensor: "Tens",
+	kindName := map[op.Kind]string{
+		op.Assembled: "Asmb",
+		op.MFRef:     "MF",
+		op.Tensor:    "Tens",
+		op.Galerkin:  "Galk",
+		op.Auto:      "Auto",
 	}
-	countName := map[mg.LevelKind]string{
-		mg.AssembledSpMV:    "Assembled",
-		mg.MatrixFreeRef:    "Matrix-free",
-		mg.MatrixFreeTensor: "Tensor",
+	countName := map[op.Kind]string{
+		op.Assembled: "Assembled",
+		op.MFRef:     "Matrix-free",
+		op.Tensor:    "Tensor",
+		op.Galerkin:  "Assembled",
+		op.Auto:      "Tensor",
+	}
+	kinds := []op.Kind{op.Assembled, op.MFRef, op.Tensor}
+	if *opFlag != "" {
+		k, err := op.ParseKind(*opFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kinds = []op.Kind{k}
 	}
 
 	fmt.Println("# Table II/III reproduction (laptop scale; see DESIGN.md substitutions)")
@@ -89,7 +102,7 @@ func main() {
 
 	for _, g := range parseInts(*grids) {
 		for _, c := range parseInts(*cores) {
-			for _, kind := range []mg.LevelKind{mg.AssembledSpMV, mg.MatrixFreeRef, mg.MatrixFreeTensor} {
+			for _, kind := range kinds {
 				runOne(g, c, *deta, kind, kindName[kind], counts[countName[kind]])
 			}
 		}
@@ -107,7 +120,7 @@ func main() {
 	}
 }
 
-func runOne(g, workers int, deta float64, kind mg.LevelKind, label string, oc perfmodel.OpCounts) {
+func runOne(g, workers int, deta float64, kind op.Kind, label string, oc perfmodel.OpCounts) {
 	o := model.DefaultSinkerOptions()
 	o.M = g
 	o.DeltaEta = deta

@@ -23,6 +23,7 @@ import (
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/model"
+	"ptatin3d/internal/op"
 	"ptatin3d/internal/par"
 	"ptatin3d/internal/stokes"
 	"ptatin3d/internal/telemetry"
@@ -33,6 +34,7 @@ func main() {
 	nc := flag.Int("nc", 8, "number of spheres")
 	rc := flag.Float64("rc", 0.1, "sphere radius")
 	workers := flag.Int("workers", 2, "worker goroutines")
+	opFlag := flag.String("op", "", "fine-level operator representation (auto|mf|mfref|asm|galerkin)")
 	fig2 := flag.Bool("fig2", false, "run the Δη robustness study (Figure 2)")
 	stream := flag.Bool("streamlines", false, "write Figure 1 VTK outputs")
 	steps := flag.Int("steps", 0, "time steps to advance")
@@ -67,8 +69,17 @@ func main() {
 		}()
 	}
 
+	fineKind := op.Tensor
+	if *opFlag != "" {
+		k, err := op.ParseKind(*opFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fineKind = k
+	}
+
 	if *fig2 {
-		runFig2(*m, *nc, *rc, *workers, reg)
+		runFig2(*m, *nc, *rc, *workers, fineKind, reg)
 		return
 	}
 
@@ -78,6 +89,12 @@ func main() {
 	o.Rc = *rc
 	o.Workers = *workers
 	mdl := model.NewSinker(o)
+	mdl.Cfg.FineKind = fineKind
+	defer func() {
+		if fineKind == op.Auto && mdl.LastStokes != nil {
+			printSelection(mdl.LastStokes.SelectionReport())
+		}
+	}()
 	if reg != nil {
 		mdl.Telemetry = reg.Root().Child("model")
 	}
@@ -122,7 +139,7 @@ func main() {
 
 // runFig2 reproduces Figure 2: residual equilibration and convergence as
 // a function of the viscosity contrast.
-func runFig2(m, nc int, rc float64, workers int, reg *telemetry.Registry) {
+func runFig2(m, nc int, rc float64, workers int, fineKind op.Kind, reg *telemetry.Registry) {
 	fmt.Println("# Figure 2 reproduction: vertical momentum vs pressure residual")
 	fmt.Println("# columns: delta_eta, iteration, momentum_resid, vertical_resid, pressure_resid")
 	for _, deta := range []float64{1, 1e2, 1e4} {
@@ -142,6 +159,7 @@ func runFig2(m, nc int, rc float64, workers int, reg *telemetry.Registry) {
 		mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 		cfg = mdl.Cfg
 		cfg.Params.MaxIt = 1000
+		cfg.FineKind = fineKind
 		if reg != nil {
 			cfg.Telemetry = reg.Root().Child(fmt.Sprintf("deta%g", deta))
 		}
@@ -161,6 +179,21 @@ func runFig2(m, nc int, rc float64, workers int, reg *telemetry.Registry) {
 		}
 		fmt.Fprintf(os.Stderr, "delta_eta=%g: converged=%v iterations=%d rel=%.2e\n",
 			deta, res.Converged, res.Iterations, res.Residual/res.Residual0)
+		if fineKind == op.Auto {
+			printSelection(s.SelectionReport())
+		}
+	}
+}
+
+// printSelection writes the per-level operator choices of an -op=auto run
+// to stderr (the data channel on stdout stays machine-readable).
+func printSelection(decs []op.Decision) {
+	if len(decs) == 0 {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "# operator auto-selection")
+	for _, d := range decs {
+		fmt.Fprintln(os.Stderr, "#   "+d.Summary())
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"ptatin3d/internal/mesh"
 	"ptatin3d/internal/mg"
 	"ptatin3d/internal/model"
+	"ptatin3d/internal/op"
 	"ptatin3d/internal/stokes"
 	"ptatin3d/internal/telemetry"
 )
@@ -92,7 +93,7 @@ func solveGolden(t *testing.T, p *fem.Problem, cfg stokes.Config) goldenRecord {
 // sinker3Record solves the 3-sinker configuration (paper §IV-B geometry at
 // reduced resolution, 3 spheres, Δη=100) directly with the production GMG
 // preconditioner.
-func sinker3Record(t *testing.T) goldenRecord {
+func sinker3Record(t *testing.T, kind op.Kind) goldenRecord {
 	o := model.DefaultSinkerOptions()
 	o.M = 8
 	o.Nc = 3
@@ -101,6 +102,7 @@ func sinker3Record(t *testing.T) goldenRecord {
 	mdl := model.NewSinker(o)
 	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 	cfg := mdl.Cfg
+	cfg.FineKind = kind
 	cfg.CoeffCoarsen = mdl.CoeffCoarsener()
 	return solveGolden(t, mdl.Prob, cfg)
 }
@@ -209,8 +211,25 @@ func checkGolden(t *testing.T, name string, got goldenRecord, rtol float64) {
 
 // TestGoldenSinker3 is the 3-sinker golden regression run.
 func TestGoldenSinker3(t *testing.T) {
-	rec := sinker3Record(t)
+	rec := sinker3Record(t, op.Tensor)
 	checkGolden(t, "golden_sinker3", rec, stokes.DefaultConfig().Params.RTol)
+}
+
+// TestGoldenSinker3Backends re-runs the 3-sinker golden configuration
+// under every explicit fine-level operator representation: the choice of
+// representation changes only how A·x is computed, so the solver must
+// reproduce the same golden record regardless of -op.
+func TestGoldenSinker3Backends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: explicit-backend golden sweep skipped")
+	}
+	for _, k := range []op.Kind{op.MFRef, op.Assembled, op.Galerkin} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			rec := sinker3Record(t, k)
+			checkGolden(t, "golden_sinker3", rec, stokes.DefaultConfig().Params.RTol)
+		})
+	}
 }
 
 // TestGoldenRayleighTaylor is the Rayleigh–Taylor golden regression run.

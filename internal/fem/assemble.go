@@ -188,11 +188,9 @@ func NewAsm(p *Problem) *AsmOp {
 // N returns the number of velocity dofs.
 func (op *AsmOp) N() int { return op.A.NRows }
 
-// Apply computes y = A·u by sparse matrix–vector product.
+// Apply computes y = A·u via the shared row-parallel SpMV.
 func (op *AsmOp) Apply(u, y la.Vec) {
-	par.For(op.Workers, op.A.NRows, func(lo, hi int) {
-		op.A.MulVecRange(u, y, lo, hi)
-	})
+	op.A.MulVecPar(u, y, op.Workers)
 }
 
 // Diagonal computes the diagonal of the viscous block matrix-free:

@@ -3,6 +3,8 @@ package la
 import (
 	"fmt"
 	"sort"
+
+	"ptatin3d/internal/par"
 )
 
 // CSR is a compressed-sparse-row matrix. Assembled operators (the "Asmb"
@@ -56,6 +58,20 @@ func (a *CSR) MulVecRange(x, y Vec, i0, i1 int) {
 		}
 		y[i] = s
 	}
+}
+
+// MulVecPar computes y = a*x with rows partitioned over workers. It is
+// THE shared worker-parallel SpMV: every assembled operator representation
+// (fem.AsmOp, the internal/op CSR backends, multigrid/AMG level operators)
+// routes its application through here, so the row-parallel schedule and
+// its telemetry live in exactly one place.
+func (a *CSR) MulVecPar(x, y Vec, workers int) {
+	if len(x) != a.NCols || len(y) != a.NRows {
+		panic(fmt.Sprintf("la: CSR MulVecPar shape mismatch (%dx%d)*%d->%d", a.NRows, a.NCols, len(x), len(y)))
+	}
+	par.For(workers, a.NRows, func(lo, hi int) {
+		a.MulVecRange(x, y, lo, hi)
+	})
 }
 
 // Diag extracts the diagonal of a into d (which must have length NRows).

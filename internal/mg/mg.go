@@ -6,38 +6,17 @@ import (
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/krylov"
 	"ptatin3d/internal/la"
-	"ptatin3d/internal/mesh"
+	"ptatin3d/internal/op"
 	"ptatin3d/internal/telemetry"
 )
 
-// LevelKind selects how a level's operator is realized (the central
-// trade-off studied in the paper: flops vs. memory traffic).
-type LevelKind int
-
-// Level operator kinds.
-const (
-	// MatrixFreeTensor applies the level matrix-free with the
-	// tensor-product kernel ("Tens").
-	MatrixFreeTensor LevelKind = iota
-	// MatrixFreeRef applies the level matrix-free with the reference
-	// non-tensor kernel ("MF").
-	MatrixFreeRef
-	// AssembledRedisc assembles the level operator by rediscretizing on
-	// the level's mesh with the level's coefficients.
-	AssembledRedisc
-	// AssembledGalerkin builds the level operator as the Galerkin triple
-	// product Pᵀ·A_fine·P; the finer level must be assembled.
-	AssembledGalerkin
-	// AssembledSpMV assembles the level by rediscretization and applies it
-	// via CSR SpMV ("Asmb" fine level of Tables II–IV).
-	AssembledSpMV = AssembledRedisc
-)
-
-// Level is one rung of the multigrid hierarchy.
+// Level is one rung of the multigrid hierarchy. The operator is an
+// internal/op representation; which one (matrix-free, assembled,
+// Galerkin, runtime-selected) is entirely op's concern — this package
+// never dispatches on it.
 type Level struct {
 	Prob     *fem.Problem // discretization (nil only if purely algebraic)
-	Op       krylov.Op
-	CSR      *la.CSR // non-nil when the operator is assembled
+	Op       op.Operator
 	Smoother *krylov.Chebyshev
 	P        *Prolongation // transfer from the next-coarser level (nil on coarsest)
 
@@ -117,10 +96,21 @@ func (m *MG) SetTelemetry(sc *telemetry.Scope) {
 
 // Options configures Build.
 type Options struct {
-	Kinds       []LevelKind // per level; Kinds[0] is the finest
-	SmoothSteps int         // Chebyshev steps: V(k,k) uses k (paper: 2 or 3)
-	EigIts      int         // power iterations for λmax (default 10)
+	Kinds       []op.Kind // per level; Kinds[0] is the finest
+	SmoothSteps int       // Chebyshev steps: V(k,k) uses k (paper: 2 or 3)
+	EigIts      int       // power iterations for λmax (default 10)
 	Workers     int
+	// FineOp, when non-nil, is used as the finest level's operator
+	// instead of building one from Kinds[0] (it must discretize
+	// probs[0]). The coupled Stokes solver passes its fine viscous
+	// operator here so it is constructed exactly once.
+	FineOp op.Operator
+	// Auto is the base policy for op.Auto levels; the coarsest level
+	// additionally gets NeedCSR (the coarse solver consumes a matrix).
+	Auto op.Policy
+	// Telemetry, when non-nil, receives per-level selection decisions
+	// under level<i>/select (same scope SetTelemetry instruments).
+	Telemetry *telemetry.Scope
 }
 
 // Build wires a multigrid hierarchy from per-level discretizations
@@ -151,136 +141,75 @@ func Build(probs []*fem.Problem, opt Options) (*MG, error) {
 			lev.P = NewProlongation(fp.DA, p.DA, fp.BC, p.BC)
 			lev.P.Workers = opt.Workers
 		}
-		switch opt.Kinds[l] {
-		case MatrixFreeTensor:
-			lev.Op = fem.NewTensor(p)
-		case MatrixFreeRef:
-			lev.Op = fem.NewMF(p)
-		case AssembledRedisc:
-			lev.CSR = fem.AssembleViscous(p)
-			lev.Op = &csrPar{a: lev.CSR, workers: opt.Workers}
-		case AssembledGalerkin:
-			prev := m.Levels[l-1]
-			if prev.CSR == nil {
-				return nil, fmt.Errorf("mg: Galerkin level %d requires assembled level %d", l, l-1)
+		if l == 0 && opt.FineOp != nil {
+			lev.Op = opt.FineOp
+		} else {
+			pol := opt.Auto
+			pol.NeedCSR = l == len(probs)-1
+			env := op.Env{
+				Prob:    p,
+				Workers: opt.Workers,
+				Level:   l,
+				Levels:  len(probs),
+				Policy:  &pol,
 			}
-			pmat := lev.P.ToCSR()
-			ac := la.RAP(prev.CSR, pmat)
-			fixConstrainedDiag(ac, p.BC)
-			lev.CSR = ac
-			lev.Op = &csrPar{a: ac, workers: opt.Workers}
-		default:
-			return nil, fmt.Errorf("mg: unknown level kind %d", opt.Kinds[l])
+			if opt.Telemetry != nil {
+				env.Telemetry = opt.Telemetry.Child(fmt.Sprintf("level%d", l))
+			}
+			if l > 0 {
+				finer := m.Levels[l-1]
+				lp := lev.P
+				env.FineCSR = func() *la.CSR { return finer.Op.CSR() }
+				env.Prolong = lp.ToCSR
+			}
+			o, err := op.New(opt.Kinds[l], env)
+			if err != nil {
+				return nil, fmt.Errorf("mg: level %d (%v): %w", l, opt.Kinds[l], err)
+			}
+			lev.Op = o
+		}
+		if err := lev.Op.Setup(); err != nil {
+			return nil, fmt.Errorf("mg: level %d setup: %w", l, err)
 		}
 		// Jacobi-preconditioned Chebyshev smoother on every level
-		// (paper §III-C), targeting [0.2λmax, 1.1λmax].
-		diag := la.NewVec(lev.Op.N())
-		if lev.CSR != nil {
-			lev.CSR.Diag(diag)
-			for i, d := range diag {
-				if d == 0 {
-					diag[i] = 1
-				}
-			}
-		} else {
-			fem.Diagonal(p, diag)
-		}
+		// (paper §III-C), targeting [0.2λmax, 1.1λmax]. Representations
+		// guarantee a nonzero diagonal (unit entries on constrained
+		// rows), so no per-representation fix-up is needed here.
+		n := lev.Op.N()
+		diag := la.NewVec(n)
+		lev.Op.Diag(diag)
 		jac := krylov.NewJacobi(diag)
 		lmax := krylov.EstimateLambdaMax(lev.Op, jac, opt.EigIts)
 		lev.Smoother = krylov.NewChebyshev(lev.Op, jac, lmax, opt.SmoothSteps)
-		n := lev.Op.N()
 		lev.r, lev.e, lev.bc = la.NewVec(n), la.NewVec(n), la.NewVec(n)
 		m.Levels = append(m.Levels, lev)
 	}
 	return m, nil
 }
 
-// fixConstrainedDiag sets a unit diagonal on rows that the Galerkin
-// product left empty (Dirichlet-constrained dofs were dropped by the
-// transfer operators).
-func fixConstrainedDiag(a *la.CSR, bc *mesh.BC) {
-	// The RAP result may lack diagonal entries on constrained rows; CSR
-	// from RAP has no storage there, so rebuild those rows via a Builder
-	// pass only if needed. Cheaper: wrap with a small fix-up matrix —
-	// instead we rebuild in place by checking for missing diagonals.
-	missing := false
-	for r := 0; r < a.NRows; r++ {
-		if !bc.Mask[r] {
-			continue
-		}
-		found := false
-		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-			if a.ColInd[k] == r {
-				a.Val[k] = 1
-				found = true
-				break
-			}
-		}
-		if !found {
-			missing = true
-			break
+// SelectionReport collects the op.Auto decisions of every level that has
+// one (empty when no level used runtime selection). Levels still
+// undecided are forced to commit first so the report is definitive.
+func (m *MG) SelectionReport() []op.Decision {
+	var out []op.Decision
+	for _, lev := range m.Levels {
+		if a, ok := lev.Op.(*op.AutoOp); ok {
+			a.ForceCommit()
+			out = append(out, a.Decision())
 		}
 	}
-	if !missing {
-		return
-	}
-	b := la.NewBuilder(a.NRows, a.NCols)
-	for r := 0; r < a.NRows; r++ {
-		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
-			b.Add(r, a.ColInd[k], a.Val[k])
-		}
-		if bc.Mask[r] {
-			b.Set(r, r, 1)
-		}
-	}
-	*a = *b.ToCSR()
-}
-
-// csrPar is a worker-parallel CSR SpMV operator.
-type csrPar struct {
-	a       *la.CSR
-	workers int
-}
-
-func (o *csrPar) N() int { return o.a.NRows }
-
-func (o *csrPar) Apply(x, y la.Vec) {
-	if o.workers <= 1 {
-		o.a.MulVec(x, y)
-		return
-	}
-	a := o.a
-	nw := o.workers
-	chunk := (a.NRows + nw - 1) / nw
-	done := make(chan struct{}, nw)
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > a.NRows {
-			hi = a.NRows
-		}
-		if lo >= hi {
-			done <- struct{}{}
-			continue
-		}
-		go func(lo, hi int) {
-			a.MulVecRange(x, y, lo, hi)
-			done <- struct{}{}
-		}(lo, hi)
-	}
-	for w := 0; w < nw; w++ {
-		<-done
-	}
+	return out
 }
 
 // UseBlockJacobiCoarse installs a block-Jacobi + exact-LU coarse solver on
-// the coarsest level (which must be assembled).
+// the coarsest level (which must have an assembled representation).
 func (m *MG) UseBlockJacobiCoarse(nblocks int) error {
 	last := m.Levels[len(m.Levels)-1]
-	if last.CSR == nil {
+	a := last.Op.CSR()
+	if a == nil {
 		return fmt.Errorf("mg: coarsest level is not assembled")
 	}
-	bj, err := krylov.NewBlockJacobi(last.CSR, nblocks)
+	bj, err := krylov.NewBlockJacobi(a, nblocks)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"ptatin3d/internal/krylov"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mesh"
+	"ptatin3d/internal/op"
 )
 
 func buildPair(t *testing.T, m int) (fine, coarse *mesh.DA) {
@@ -67,6 +68,60 @@ func TestProlongationAdjoint(t *testing.T) {
 	}
 }
 
+// TestProlongationAdjointRandomized is the property-style version of the
+// transpose check: over random mesh shapes, deformations and constraint
+// patterns, restriction must remain the exact adjoint of prolongation
+// (⟨P·x, y⟩ == ⟨x, Pᵀ·y⟩ for random x, y) — the structural property the
+// Galerkin coarse operator's symmetry rests on.
+func TestProlongationAdjointRandomized(t *testing.T) {
+	faces := []mesh.Face{mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin, mesh.ZMax}
+	normal := []int{0, 0, 1, 1, 2, 2}
+	for _, seed := range []int64{11, 22, 33, 44} {
+		rng := rand.New(rand.NewSource(seed))
+		mx, my, mz := 2*(1+rng.Intn(2)), 2*(1+rng.Intn(2)), 2*(1+rng.Intn(2))
+		fine := mesh.New(mx, my, mz, 0, 1, 0, 1, 0, 1)
+		a1 := 0.05 * rng.Float64()
+		a2 := 0.05 * rng.Float64()
+		fine.Deform(func(x, y, z float64) (float64, float64, float64) {
+			return x + a1*math.Sin(math.Pi*y), y + a2*math.Sin(math.Pi*z), z + 0.02*x*y
+		})
+		coarse := fine.Coarsen()
+		fbc := mesh.NewBC(fine)
+		for i, f := range faces {
+			switch rng.Intn(3) {
+			case 1:
+				fbc.SetFaceComponent(fine, f, normal[i], 0)
+			case 2:
+				for c := 0; c < 3; c++ {
+					fbc.SetFaceComponent(fine, f, c, 0)
+				}
+			}
+		}
+		cbc := mesh.CoarsenBC(fine, coarse, fbc)
+		p := NewProlongation(fine, coarse, fbc, cbc)
+		for trial := 0; trial < 3; trial++ {
+			uc := la.NewVec(coarse.NVelDOF())
+			rf := la.NewVec(fine.NVelDOF())
+			for i := range uc {
+				uc[i] = rng.NormFloat64()
+			}
+			for i := range rf {
+				rf[i] = rng.NormFloat64()
+			}
+			puc := la.NewVec(fine.NVelDOF())
+			p.Apply(uc, puc)
+			ptr := la.NewVec(coarse.NVelDOF())
+			p.ApplyTranspose(rf, ptr)
+			d1 := puc.Dot(rf)
+			d2 := uc.Dot(ptr)
+			if math.Abs(d1-d2) > 1e-10*(1+math.Abs(d1)) {
+				t.Fatalf("seed %d trial %d (%dx%dx%d): <Pu,r>=%v != <u,Pᵀr>=%v",
+					seed, trial, mx, my, mz, d1, d2)
+			}
+		}
+	}
+}
+
 func TestProlongationCSRMatchesApply(t *testing.T) {
 	fine, coarse := buildPair(t, 2)
 	fbc := mesh.NewBC(fine)
@@ -101,7 +156,7 @@ func stdProblem(m int, eta func(x, y, z float64) float64) *fem.Problem {
 	return p
 }
 
-func mgSolveIterations(t *testing.T, m, levels int, eta func(x, y, z float64) float64, kinds []LevelKind) int {
+func mgSolveIterations(t *testing.T, m, levels int, eta func(x, y, z float64) float64, kinds []op.Kind) int {
 	t.Helper()
 	fine := stdProblem(m, eta)
 	probs := CoarsenProblems(fine, levels, FuncCoeffCoarsener(eta, nil))
@@ -120,11 +175,11 @@ func mgSolveIterations(t *testing.T, m, levels int, eta func(x, y, z float64) fl
 	}
 	fine.BC.ZeroConstrained(b)
 	x := la.NewVec(n)
-	op := fem.NewTensor(fine)
+	fineOp := fem.NewTensor(fine)
 	prm := krylov.DefaultParams()
 	prm.RTol = 1e-8
 	prm.MaxIt = 100
-	res := krylov.FGMRES(op, mgp, b, x, prm)
+	res := krylov.FGMRES(fineOp, mgp, b, x, prm)
 	if !res.Converged {
 		t.Fatalf("MG-FGMRES did not converge in %d its (res %.3e)", res.Iterations, res.Residual/res.Residual0)
 	}
@@ -134,7 +189,7 @@ func mgSolveIterations(t *testing.T, m, levels int, eta func(x, y, z float64) fl
 // TestMGConvergesConstantViscosity: the core multigrid sanity check.
 func TestMGConvergesConstantViscosity(t *testing.T) {
 	one := func(x, y, z float64) float64 { return 1 }
-	its := mgSolveIterations(t, 8, 3, one, []LevelKind{MatrixFreeTensor, AssembledRedisc, AssembledGalerkin})
+	its := mgSolveIterations(t, 8, 3, one, []op.Kind{op.Tensor, op.Assembled, op.Galerkin})
 	if its > 30 {
 		t.Fatalf("constant-viscosity MG took %d iterations", its)
 	}
@@ -147,7 +202,7 @@ func TestMGHIndependence(t *testing.T) {
 		t.Skip("short mode")
 	}
 	one := func(x, y, z float64) float64 { return 1 }
-	kinds := []LevelKind{MatrixFreeTensor, AssembledRedisc, AssembledGalerkin}
+	kinds := []op.Kind{op.Tensor, op.Assembled, op.Galerkin}
 	it8 := mgSolveIterations(t, 8, 3, one, kinds)
 	it16 := mgSolveIterations(t, 16, 3, one, kinds)
 	if it16 > it8+10 {
@@ -160,7 +215,7 @@ func TestMGVariableViscosity(t *testing.T) {
 	eta := func(x, y, z float64) float64 {
 		return math.Pow(10, 4*math.Sin(math.Pi*x)*math.Sin(math.Pi*y)*math.Sin(math.Pi*z))
 	}
-	its := mgSolveIterations(t, 8, 3, eta, []LevelKind{MatrixFreeTensor, AssembledRedisc, AssembledGalerkin})
+	its := mgSolveIterations(t, 8, 3, eta, []op.Kind{op.Tensor, op.Assembled, op.Galerkin})
 	if its > 60 {
 		t.Fatalf("variable-viscosity MG took %d iterations", its)
 	}
@@ -170,9 +225,9 @@ func TestMGVariableViscosity(t *testing.T) {
 // must produce (nearly) identical preconditioners.
 func TestMGKindsEquivalent(t *testing.T) {
 	one := func(x, y, z float64) float64 { return 1 + x + y*z }
-	itMF := mgSolveIterations(t, 8, 2, one, []LevelKind{MatrixFreeTensor, AssembledRedisc})
-	itAsm := mgSolveIterations(t, 8, 2, one, []LevelKind{AssembledRedisc, AssembledRedisc})
-	itRef := mgSolveIterations(t, 8, 2, one, []LevelKind{MatrixFreeRef, AssembledRedisc})
+	itMF := mgSolveIterations(t, 8, 2, one, []op.Kind{op.Tensor, op.Assembled})
+	itAsm := mgSolveIterations(t, 8, 2, one, []op.Kind{op.Assembled, op.Assembled})
+	itRef := mgSolveIterations(t, 8, 2, one, []op.Kind{op.MFRef, op.Assembled})
 	if abs(itMF-itAsm) > 2 || abs(itMF-itRef) > 2 {
 		t.Fatalf("kind-dependent convergence: MF %d, Asm %d, Ref %d", itMF, itAsm, itRef)
 	}
@@ -182,8 +237,8 @@ func TestMGKindsEquivalent(t *testing.T) {
 // must yield a convergent cycle with similar counts on a smooth problem.
 func TestGalerkinVsRediscretized(t *testing.T) {
 	eta := func(x, y, z float64) float64 { return math.Exp(2 * math.Sin(3*x) * math.Cos(2*y)) }
-	itGal := mgSolveIterations(t, 8, 3, eta, []LevelKind{MatrixFreeTensor, AssembledRedisc, AssembledGalerkin})
-	itRed := mgSolveIterations(t, 8, 3, eta, []LevelKind{MatrixFreeTensor, AssembledRedisc, AssembledRedisc})
+	itGal := mgSolveIterations(t, 8, 3, eta, []op.Kind{op.Tensor, op.Assembled, op.Galerkin})
+	itRed := mgSolveIterations(t, 8, 3, eta, []op.Kind{op.Tensor, op.Assembled, op.Assembled})
 	if itGal > 60 || itRed > 60 {
 		t.Fatalf("Galerkin %d, rediscretized %d iterations", itGal, itRed)
 	}
@@ -196,7 +251,7 @@ func TestVCycleContracts(t *testing.T) {
 	fine := stdProblem(8, one)
 	probs := CoarsenProblems(fine, 3, FuncCoeffCoarsener(one, nil))
 	mgp, err := Build(probs, Options{
-		Kinds:       []LevelKind{MatrixFreeTensor, AssembledRedisc, AssembledGalerkin},
+		Kinds:       []op.Kind{op.Tensor, op.Assembled, op.Galerkin},
 		SmoothSteps: 2,
 	})
 	if err != nil {
@@ -212,11 +267,11 @@ func TestVCycleContracts(t *testing.T) {
 		b[i] = rng.NormFloat64()
 	}
 	fine.BC.ZeroConstrained(b)
-	op := fem.NewTensor(fine)
+	fineOp := fem.NewTensor(fine)
 	x := la.NewVec(n)
 	r := la.NewVec(n)
 	norm := func() float64 {
-		op.Apply(x, r)
+		fineOp.Apply(x, r)
 		r.AYPX(-1, b)
 		return r.Norm2()
 	}
@@ -278,7 +333,7 @@ func TestWCycle(t *testing.T) {
 	eta := func(x, y, z float64) float64 {
 		return math.Pow(10, 2*math.Sin(math.Pi*x)*math.Sin(math.Pi*y))
 	}
-	kinds := []LevelKind{MatrixFreeTensor, AssembledRedisc, AssembledGalerkin}
+	kinds := []op.Kind{op.Tensor, op.Assembled, op.Galerkin}
 	run := func(gamma int) int {
 		fine := stdProblem(8, eta)
 		probs := CoarsenProblems(fine, 3, FuncCoeffCoarsener(eta, nil))

@@ -37,6 +37,10 @@ type Model struct {
 	// Stokes solver configuration; the preconditioner is rebuilt on each
 	// nonlinear relinearization with the current Picard coefficients.
 	Cfg stokes.Config
+	// LastStokes is the most recent preconditioner built by SolveStokes;
+	// drivers inspect it after a solve for the per-level operator
+	// selection report (Cfg.FineKind == op.Auto).
+	LastStokes *stokes.Solver
 
 	// VerticalAxis is the gravity direction index (sinker: 2, rift: 1).
 	VerticalAxis int
@@ -213,6 +217,7 @@ func (m *Model) SolveStokes() (nonlinear.Result, error) {
 				id := krylov.OpFunc{Dim: ncoup, F: func(a, b la.Vec) { b.Copy(a) }}
 				return id, krylov.Identity{}
 			}
+			m.LastStokes = s
 			if m.UseNewton {
 				nel := prob.DA.NElements()
 				d6 := make([]float64, 6*fem.NQP*nel)

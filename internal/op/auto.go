@@ -1,0 +1,522 @@
+package op
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/perfmodel"
+)
+
+// Policy tunes the Auto selector.
+type Policy struct {
+	// TrialApplies is how many real applications of each surviving
+	// candidate are timed before committing (default 3). The multigrid
+	// builder's λmax power iteration performs ~10 applies per level at
+	// construction, so selection normally completes before the first
+	// V-cycle.
+	TrialApplies int
+	// ExpectedApplies is the amortization horizon: a representation's
+	// one-time setup cost is charged as setup/ExpectedApplies per apply
+	// (default 200 — a few outer Krylov solves' worth of smoothing).
+	ExpectedApplies int
+	// SkipFactor prunes candidates whose roofline-predicted amortized
+	// time exceeds SkipFactor × the best prediction; they are reported
+	// as skipped and never built (default 4).
+	SkipFactor float64
+	// NeedCSR restricts the candidates to assembled representations.
+	// The multigrid builder sets it on the coarsest level: the coarse
+	// solvers (GAMG, block-Jacobi/LU, ASM) consume a matrix, so a
+	// matrix-free winner would be useless there regardless of its apply
+	// throughput — the same constraint that drives the paper's
+	// "assembled on coarse levels" layout.
+	NeedCSR bool
+	// Machine overrides the roofline machine model; nil uses the
+	// process-wide perfmodel.CalibratedMachine().
+	Machine *perfmodel.Machine
+	// DisableCache bypasses the process-global decision cache (tests).
+	DisableCache bool
+}
+
+// DefaultPolicy returns the production selector tuning.
+func DefaultPolicy() Policy {
+	return Policy{TrialApplies: 3, ExpectedApplies: 200, SkipFactor: 4}
+}
+
+func (p *Policy) setDefaults() {
+	d := DefaultPolicy()
+	if p.TrialApplies <= 0 {
+		p.TrialApplies = d.TrialApplies
+	}
+	if p.ExpectedApplies <= 0 {
+		p.ExpectedApplies = d.ExpectedApplies
+	}
+	if p.SkipFactor <= 0 {
+		p.SkipFactor = d.SkipFactor
+	}
+}
+
+// CandidateReport is one representation's showing in a selection.
+type CandidateReport struct {
+	Kind Kind
+	// PredictedApplySeconds is the roofline per-apply estimate;
+	// PredictedAmortizedSeconds adds setup/ExpectedApplies.
+	PredictedApplySeconds     float64
+	PredictedAmortizedSeconds float64
+	// Measured values are zero for skipped candidates.
+	MeasuredApplySeconds float64
+	MeasuredSetupSeconds float64
+	MDoFPerSec           float64
+	Trials               int
+	Skipped              bool
+}
+
+// Decision records one level's committed selection.
+type Decision struct {
+	Level, N   int
+	Chosen     Kind
+	Forced     bool // NeedCSR restricted the field
+	FromCache  bool
+	Committed  bool
+	Candidates []CandidateReport
+}
+
+// decisionCache remembers committed choices keyed by problem shape, so
+// the per-relinearization solver rebuilds of a nonlinear solve do not
+// re-trial identical levels (coefficients change between rebuilds; level
+// shapes do not).
+var (
+	decisionMu    sync.Mutex
+	decisionCache = map[string]Kind{}
+)
+
+// ResetDecisionCache clears the process-global selection cache (tests).
+func ResetDecisionCache() {
+	decisionMu.Lock()
+	decisionCache = map[string]Kind{}
+	decisionMu.Unlock()
+}
+
+func cacheLookup(key string) (Kind, bool) {
+	decisionMu.Lock()
+	defer decisionMu.Unlock()
+	k, ok := decisionCache[key]
+	return k, ok
+}
+
+func cacheStore(key string, k Kind) {
+	decisionMu.Lock()
+	decisionCache[key] = k
+	decisionMu.Unlock()
+}
+
+// autoCand is one candidate's trial state.
+type autoCand struct {
+	rep   CandidateReport
+	op    Operator
+	built bool
+}
+
+// AutoOp selects a representation at runtime. Setup ranks the candidates
+// on the calibrated roofline model; the first real applies then time
+// each surviving candidate in ranked order (every trial apply computes
+// the correct product — the candidates realize the same matrix), and the
+// winner by amortized measured cost is committed. With NeedCSR the field
+// is restricted to assembled representations and committed at Setup;
+// measured throughput of the committed operator is still recorded over
+// its first applies.
+type AutoOp struct {
+	env Env
+	pol Policy
+	mf  *fem.TensorOp // residual twin; also the pre-commit diagonal source
+
+	cands       []*autoCand
+	next        int
+	committed   Operator
+	measureLeft int // post-commit throughput probes (forced/cached paths)
+	dec         Decision
+}
+
+func newAuto(env Env) (Operator, error) {
+	pol := DefaultPolicy()
+	if env.Policy != nil {
+		pol = *env.Policy
+		pol.setDefaults()
+	}
+	return &AutoOp{env: env, pol: pol, mf: fem.NewTensor(env.Prob)}, nil
+}
+
+func (o *AutoOp) N() int                    { return o.env.Prob.DA.NVelDOF() }
+func (o *AutoOp) Kind() Kind                { return Auto }
+func (o *AutoOp) ApplyFreeRows(u, y la.Vec) { o.mf.ApplyFreeRows(u, y) }
+
+func (o *AutoOp) cacheKey() string {
+	da := o.env.Prob.DA
+	return fmt.Sprintf("el=%dx%dx%d;w=%d;csr=%v", da.Mx, da.My, da.Mz, o.env.Workers, o.pol.NeedCSR)
+}
+
+// Setup builds the candidate field. It commits immediately on the forced
+// (NeedCSR) and cached paths; otherwise commitment happens after the
+// trial applies.
+func (o *AutoOp) Setup() error {
+	if o.committed != nil || o.cands != nil {
+		return nil
+	}
+	o.dec = Decision{Level: o.env.Level, N: o.N()}
+	if o.pol.NeedCSR {
+		return o.setupForced()
+	}
+	if !o.pol.DisableCache {
+		if k, ok := cacheLookup(o.cacheKey()); ok {
+			return o.commitKind(k, true)
+		}
+	}
+	machine := perfmodel.CalibratedMachine()
+	if o.pol.Machine != nil {
+		machine = *o.pol.Machine
+	}
+	nel := o.env.Prob.DA.NElements()
+	// Candidates share the level's matrix, so trial applies are
+	// interchangeable and the matrix-free diagonal serves all of them.
+	// (Galerkin realizes a *different* coarse matrix — it competes only
+	// on the forced coarse path, never in the timed field.)
+	kinds := []Kind{Tensor, MFRef, Assembled}
+	exp := float64(o.pol.ExpectedApplies)
+	for _, k := range kinds {
+		var c Cost
+		switch k {
+		case Tensor:
+			c = mfCost("Tensor", nel)
+		case MFRef:
+			c = mfCost("Matrix-free", nel)
+		case Assembled:
+			c = asmCost(nel, nil)
+		}
+		applyPred := rooflineSeconds(machine, c.ApplyFlops, c.ApplyBytes)
+		setupPred := rooflineSeconds(machine, c.SetupFlops, c.SetupBytes)
+		o.cands = append(o.cands, &autoCand{rep: CandidateReport{
+			Kind:                      k,
+			PredictedApplySeconds:     applyPred,
+			PredictedAmortizedSeconds: applyPred + setupPred/exp,
+		}})
+	}
+	best := o.cands[0].rep.PredictedAmortizedSeconds
+	for _, c := range o.cands[1:] {
+		if c.rep.PredictedAmortizedSeconds < best {
+			best = c.rep.PredictedAmortizedSeconds
+		}
+	}
+	live := 0
+	for _, c := range o.cands {
+		if c.rep.PredictedAmortizedSeconds > o.pol.SkipFactor*best {
+			c.rep.Skipped = true
+		} else {
+			live++
+		}
+	}
+	if live == 0 { // unreachable (best always survives); belt and braces
+		o.cands[0].rep.Skipped = false
+	}
+	return nil
+}
+
+// rooflineSeconds is the roofline time of an absolute (flops, bytes)
+// workload: max(flop time, memory time).
+func rooflineSeconds(m perfmodel.Machine, flops, bytes float64) float64 {
+	return m.RooflineTime(perfmodel.OpCounts{Flops: flops, BytesPerfect: bytes, BytesPessimal: bytes}, false)
+}
+
+// setupForced handles the NeedCSR path: the coarse-solver handoff
+// requires a matrix, so the field is {Galerkin, Assembled}, preferring
+// the Galerkin product when the finer level is assembled (it reuses that
+// matrix instead of rediscretizing).
+func (o *AutoOp) setupForced() error {
+	o.dec.Forced = true
+	if o.env.FineCSR != nil && o.env.Prolong != nil && o.env.FineCSR() != nil {
+		g, err := newGalerkinOp(o.env)
+		if err == nil {
+			if err = g.Setup(); err == nil {
+				gop := g.(*galerkinOp)
+				o.recordForced(gop, gop.setupT)
+				return nil
+			}
+		}
+	}
+	a, err := newAsmOp(o.env)
+	if err != nil {
+		return err
+	}
+	if err := a.Setup(); err != nil {
+		return err
+	}
+	aop := a.(*asmOp)
+	o.recordForced(aop, aop.setupT)
+	return nil
+}
+
+func (o *AutoOp) recordForced(chosen Operator, setup time.Duration) {
+	o.committed = chosen
+	o.measureLeft = o.pol.TrialApplies
+	o.dec.Chosen = chosen.Kind()
+	o.dec.Committed = true
+	o.dec.Candidates = []CandidateReport{{
+		Kind:                 chosen.Kind(),
+		MeasuredSetupSeconds: setup.Seconds(),
+	}}
+	o.publish()
+}
+
+// commitKind builds and commits a specific representation (cache hit).
+func (o *AutoOp) commitKind(k Kind, fromCache bool) error {
+	cop, err := New(k, o.env)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := cop.Setup(); err != nil {
+		return err
+	}
+	o.committed = cop
+	o.measureLeft = o.pol.TrialApplies
+	o.dec.Chosen = k
+	o.dec.FromCache = fromCache
+	o.dec.Committed = true
+	o.dec.Candidates = []CandidateReport{{
+		Kind:                 k,
+		MeasuredSetupSeconds: time.Since(start).Seconds(),
+	}}
+	o.publish()
+	return nil
+}
+
+// Apply computes y = A·x. While uncommitted it times candidate applies
+// in ranked order; once every surviving candidate has TrialApplies
+// measurements the winner is committed.
+func (o *AutoOp) Apply(x, y la.Vec) {
+	if o.committed != nil {
+		if o.measureLeft > 0 {
+			start := time.Now()
+			o.committed.Apply(x, y)
+			o.observeCommitted(time.Since(start).Seconds())
+			return
+		}
+		o.committed.Apply(x, y)
+		return
+	}
+	if o.cands == nil {
+		if err := o.Setup(); err != nil {
+			panic(err)
+		}
+		if o.committed != nil {
+			o.Apply(x, y)
+			return
+		}
+	}
+	c := o.currentCand()
+	if !c.built {
+		if c.op == nil {
+			cop, err := New(c.rep.Kind, o.env)
+			if err != nil {
+				panic(err)
+			}
+			c.op = cop
+		}
+		start := time.Now()
+		if err := c.op.Setup(); err != nil {
+			panic(err)
+		}
+		c.rep.MeasuredSetupSeconds = time.Since(start).Seconds()
+		c.built = true
+	}
+	start := time.Now()
+	c.op.Apply(x, y)
+	dt := time.Since(start).Seconds()
+	if c.rep.Trials == 0 || dt < c.rep.MeasuredApplySeconds {
+		c.rep.MeasuredApplySeconds = dt
+	}
+	c.rep.Trials++
+	if c.rep.Trials >= o.pol.TrialApplies {
+		o.next++
+		if o.currentCand() == nil {
+			o.commitMeasured()
+		}
+	}
+}
+
+// currentCand returns the candidate being trialed, skipping pruned ones;
+// nil when all trials are done.
+func (o *AutoOp) currentCand() *autoCand {
+	for o.next < len(o.cands) {
+		if !o.cands[o.next].rep.Skipped {
+			return o.cands[o.next]
+		}
+		o.next++
+	}
+	return nil
+}
+
+// commitMeasured picks the winner by measured amortized cost.
+func (o *AutoOp) commitMeasured() {
+	exp := float64(o.pol.ExpectedApplies)
+	var win *autoCand
+	bestCost := 0.0
+	for _, c := range o.cands {
+		if c.rep.Skipped {
+			continue
+		}
+		cost := c.rep.MeasuredApplySeconds + c.rep.MeasuredSetupSeconds/exp
+		if win == nil || cost < bestCost {
+			win, bestCost = c, cost
+		}
+	}
+	o.committed = win.op
+	o.dec.Chosen = win.rep.Kind
+	o.dec.Committed = true
+	n := float64(o.N())
+	for _, c := range o.cands {
+		if !c.rep.Skipped && c.rep.MeasuredApplySeconds > 0 {
+			c.rep.MDoFPerSec = n / c.rep.MeasuredApplySeconds / 1e6
+		}
+		o.dec.Candidates = append(o.dec.Candidates, c.rep)
+	}
+	if !o.pol.DisableCache {
+		cacheStore(o.cacheKey(), win.rep.Kind)
+	}
+	o.cands, o.next = nil, 0
+	o.publish()
+}
+
+// observeCommitted records post-commit throughput probes (forced and
+// cached paths, where no trial race happened).
+func (o *AutoOp) observeCommitted(dt float64) {
+	r := &o.dec.Candidates[0]
+	if r.Trials == 0 || dt < r.MeasuredApplySeconds {
+		r.MeasuredApplySeconds = dt
+	}
+	r.Trials++
+	o.measureLeft--
+	if o.measureLeft == 0 {
+		r.MDoFPerSec = float64(o.N()) / r.MeasuredApplySeconds / 1e6
+		o.publish()
+	}
+}
+
+// publish mirrors the current decision into telemetry under
+// <scope>/select: a chosen_<kind> counter plus per-candidate gauges
+// (predicted/measured apply time, setup time, MDoF/s).
+func (o *AutoOp) publish() {
+	sc := o.env.Telemetry.Child("select")
+	if sc == nil {
+		return
+	}
+	d := &o.dec
+	sc.Counter("chosen_" + d.Chosen.String()).Inc()
+	if d.Forced {
+		sc.Counter("forced_csr").Inc()
+	}
+	if d.FromCache {
+		sc.Counter("from_cache").Inc()
+	}
+	for _, c := range d.Candidates {
+		csc := sc.Child(c.Kind.String())
+		csc.Gauge("predicted_apply_us").Set(c.PredictedApplySeconds * 1e6)
+		csc.Gauge("measured_apply_us").Set(c.MeasuredApplySeconds * 1e6)
+		csc.Gauge("setup_ms").Set(c.MeasuredSetupSeconds * 1e3)
+		csc.Gauge("mdof_per_s").Set(c.MDoFPerSec)
+		if c.Skipped {
+			csc.Counter("skipped").Inc()
+		}
+	}
+}
+
+// Diag provides the operator diagonal: matrix-free before commitment
+// (every timed candidate realizes the same matrix), the committed
+// representation's own diagonal afterwards (a committed Galerkin product
+// is a different coarse matrix with a different diagonal).
+func (o *AutoOp) Diag(d la.Vec) {
+	if o.committed != nil {
+		o.committed.Diag(d)
+		return
+	}
+	fem.Diagonal(o.env.Prob, d)
+}
+
+// Cost reports the committed representation's cost (zero before
+// commitment).
+func (o *AutoOp) Cost() Cost {
+	if o.committed != nil {
+		return o.committed.Cost()
+	}
+	return Cost{}
+}
+
+// CSR force-commits if needed (running any outstanding trials on a
+// synthetic vector) and returns the committed representation's matrix —
+// nil when a matrix-free representation won.
+func (o *AutoOp) CSR() *la.CSR {
+	o.ForceCommit()
+	if o.committed == nil {
+		return nil
+	}
+	return o.committed.CSR()
+}
+
+// ForceCommit completes any outstanding trials immediately using a
+// synthetic deterministic vector, so the decision is available before
+// real applies happen (coarse-solver construction, reporting).
+func (o *AutoOp) ForceCommit() {
+	if o.committed != nil {
+		return
+	}
+	if o.cands == nil {
+		if err := o.Setup(); err != nil {
+			panic(err)
+		}
+		if o.committed != nil {
+			return
+		}
+	}
+	n := o.N()
+	x, y := la.NewVec(n), la.NewVec(n)
+	for i := range x {
+		x[i] = 1 + float64(i%13)/13
+	}
+	for o.committed == nil {
+		o.Apply(x, y)
+	}
+}
+
+// Committed reports the chosen representation (Auto if undecided).
+func (o *AutoOp) Committed() Kind {
+	if o.committed == nil {
+		return Auto
+	}
+	return o.committed.Kind()
+}
+
+// Decision returns the current selection record.
+func (o *AutoOp) Decision() Decision { return o.dec }
+
+// Summary renders the decision as a one-line human-readable report,
+// e.g. for driver output alongside -telemetry.
+func (d Decision) Summary() string {
+	s := fmt.Sprintf("level %d (n=%d): chose %s", d.Level, d.N, d.Chosen)
+	switch {
+	case d.Forced:
+		s += " [forced: coarse solver needs CSR]"
+	case d.FromCache:
+		s += " [cached]"
+	}
+	for _, c := range d.Candidates {
+		if c.Skipped {
+			s += fmt.Sprintf("; %s skipped (pred %.0fus)", c.Kind, c.PredictedApplySeconds*1e6)
+			continue
+		}
+		if c.MeasuredApplySeconds > 0 {
+			s += fmt.Sprintf("; %s %.0fus %.1f MDoF/s", c.Kind, c.MeasuredApplySeconds*1e6, c.MDoFPerSec)
+		}
+	}
+	return s
+}

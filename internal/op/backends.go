@@ -1,0 +1,266 @@
+package op
+
+import (
+	"fmt"
+	"time"
+
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/perfmodel"
+)
+
+func init() {
+	Register(Tensor, newTensorOp)
+	Register(MFRef, newMFRefOp)
+	Register(Assembled, newAsmOp)
+	Register(Galerkin, newGalerkinOp)
+	Register(Auto, newAuto)
+}
+
+// reproCounts looks up this implementation's analytic per-element counts
+// by Table-I name.
+func reproCounts(name string) perfmodel.OpCounts {
+	for _, c := range perfmodel.ReproCounts() {
+		if c.Name == name {
+			return c
+		}
+	}
+	return perfmodel.OpCounts{Name: name}
+}
+
+// mfCost scales per-element apply counts to the whole mesh; matrix-free
+// kernels have no setup work and no assembled storage.
+func mfCost(name string, nel int) Cost {
+	c := reproCounts(name)
+	return Cost{
+		ApplyFlops: c.Flops * float64(nel),
+		ApplyBytes: c.BytesPessimal * float64(nel),
+	}
+}
+
+// asmCost combines the assembly setup estimate with the CSR apply cost.
+// When the matrix exists the apply cost uses the true nonzero count
+// (2 flops and 16 bytes per stored value+index); beforehand it falls
+// back to the analytic ~4608 nnz/element estimate.
+func asmCost(nel int, a *la.CSR) Cost {
+	setup := perfmodel.AssemblySetupCounts()
+	c := Cost{
+		SetupFlops: setup.Flops * float64(nel),
+		SetupBytes: setup.BytesPessimal * float64(nel),
+	}
+	if a != nil {
+		nnz := float64(len(a.Val))
+		c.ApplyFlops = 2 * nnz
+		c.ApplyBytes = 16*nnz + 24*float64(a.NRows)
+		c.StorageBytes = 16*nnz + 8*float64(a.NRows+1)
+	} else {
+		est := reproCounts("Assembled")
+		c.ApplyFlops = est.Flops * float64(nel)
+		c.ApplyBytes = est.BytesPessimal * float64(nel)
+		c.StorageBytes = est.BytesPessimal * float64(nel)
+	}
+	return c
+}
+
+// csrDiag extracts the diagonal of an assembled operator, patching the
+// zero entries structurally-empty rows would otherwise hand the Jacobi
+// smoother.
+func csrDiag(a *la.CSR, d la.Vec) {
+	a.Diag(d)
+	for i, v := range d {
+		if v == 0 {
+			d[i] = 1
+		}
+	}
+}
+
+// fixConstrainedDiag sets a unit diagonal on constrained rows that the
+// Galerkin triple product left empty (Dirichlet-constrained dofs are
+// dropped by the transfer operators). Moved here from internal/mg.
+func fixConstrainedDiag(a *la.CSR, mask []bool) {
+	missing := false
+	for r := 0; r < a.NRows; r++ {
+		if !mask[r] {
+			continue
+		}
+		found := false
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			if a.ColInd[k] == r {
+				a.Val[k] = 1
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = true
+			break
+		}
+	}
+	if !missing {
+		return
+	}
+	b := la.NewBuilder(a.NRows, a.NCols)
+	for r := 0; r < a.NRows; r++ {
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			b.Add(r, a.ColInd[k], a.Val[k])
+		}
+		if mask[r] {
+			b.Set(r, r, 1)
+		}
+	}
+	*a = *b.ToCSR()
+}
+
+// tensorOp wraps the tensor-product matrix-free kernel.
+type tensorOp struct {
+	k *fem.TensorOp
+	p *fem.Problem
+}
+
+func newTensorOp(env Env) (Operator, error) {
+	return &tensorOp{k: fem.NewTensor(env.Prob), p: env.Prob}, nil
+}
+
+func (o *tensorOp) N() int                    { return o.k.N() }
+func (o *tensorOp) Apply(x, y la.Vec)         { o.k.Apply(x, y) }
+func (o *tensorOp) ApplyFreeRows(u, y la.Vec) { o.k.ApplyFreeRows(u, y) }
+func (o *tensorOp) Setup() error              { return nil }
+func (o *tensorOp) Diag(d la.Vec)             { fem.Diagonal(o.p, d) }
+func (o *tensorOp) Cost() Cost                { return mfCost("Tensor", o.p.DA.NElements()) }
+func (o *tensorOp) Kind() Kind                { return Tensor }
+func (o *tensorOp) CSR() *la.CSR              { return nil }
+
+// mfrefOp wraps the reference (non-tensor) matrix-free kernel.
+type mfrefOp struct {
+	k *fem.MFOp
+	p *fem.Problem
+}
+
+func newMFRefOp(env Env) (Operator, error) {
+	return &mfrefOp{k: fem.NewMF(env.Prob), p: env.Prob}, nil
+}
+
+func (o *mfrefOp) N() int                    { return o.k.N() }
+func (o *mfrefOp) Apply(x, y la.Vec)         { o.k.Apply(x, y) }
+func (o *mfrefOp) ApplyFreeRows(u, y la.Vec) { o.k.ApplyFreeRows(u, y) }
+func (o *mfrefOp) Setup() error              { return nil }
+func (o *mfrefOp) Diag(d la.Vec)             { fem.Diagonal(o.p, d) }
+func (o *mfrefOp) Cost() Cost                { return mfCost("Matrix-free", o.p.DA.NElements()) }
+func (o *mfrefOp) Kind() Kind                { return MFRef }
+func (o *mfrefOp) CSR() *la.CSR              { return nil }
+
+// asmOp rediscretizes the operator into CSR and applies it by the shared
+// row-parallel SpMV. A tensor matrix-free twin provides ApplyFreeRows:
+// the assembled matrix drops constrained columns, so it cannot evaluate
+// residuals of boundary-valued states.
+type asmOp struct {
+	p       *fem.Problem
+	workers int
+	mf      *fem.TensorOp
+	a       *la.CSR
+	setupT  time.Duration
+}
+
+func newAsmOp(env Env) (Operator, error) {
+	return &asmOp{p: env.Prob, workers: env.Workers, mf: fem.NewTensor(env.Prob)}, nil
+}
+
+func (o *asmOp) N() int { return o.p.DA.NVelDOF() }
+
+func (o *asmOp) Setup() error {
+	if o.a == nil {
+		start := time.Now()
+		o.a = fem.AssembleViscous(o.p)
+		o.setupT = time.Since(start)
+	}
+	return nil
+}
+
+func (o *asmOp) Apply(x, y la.Vec) {
+	if o.a == nil {
+		o.Setup()
+	}
+	o.a.MulVecPar(x, y, o.workers)
+}
+
+func (o *asmOp) ApplyFreeRows(u, y la.Vec) { o.mf.ApplyFreeRows(u, y) }
+
+func (o *asmOp) Diag(d la.Vec) {
+	if o.a == nil {
+		o.Setup()
+	}
+	csrDiag(o.a, d)
+}
+
+func (o *asmOp) Cost() Cost   { return asmCost(o.p.DA.NElements(), o.a) }
+func (o *asmOp) Kind() Kind   { return Assembled }
+func (o *asmOp) CSR() *la.CSR { o.Setup(); return o.a }
+
+// SetupTime reports the measured assembly wall time (zero before Setup).
+func (o *asmOp) SetupTime() time.Duration { return o.setupT }
+
+// galerkinOp builds the CSR operator as the Galerkin triple product
+// Pᵀ·A_fine·P of the next-finer level's assembled matrix.
+type galerkinOp struct {
+	env    Env
+	a      *la.CSR
+	setupT time.Duration
+}
+
+func newGalerkinOp(env Env) (Operator, error) {
+	if env.FineCSR == nil || env.Prolong == nil {
+		return nil, fmt.Errorf("op: Galerkin requires hierarchy context (FineCSR/Prolong)")
+	}
+	return &galerkinOp{env: env}, nil
+}
+
+func (o *galerkinOp) N() int { return o.env.Prob.DA.NVelDOF() }
+
+func (o *galerkinOp) Setup() error {
+	if o.a != nil {
+		return nil
+	}
+	fine := o.env.FineCSR()
+	if fine == nil {
+		return fmt.Errorf("op: Galerkin requires an assembled finer level")
+	}
+	start := time.Now()
+	a := la.RAP(fine, o.env.Prolong())
+	fixConstrainedDiag(a, o.env.Prob.BC.Mask)
+	o.a = a
+	o.setupT = time.Since(start)
+	return nil
+}
+
+func (o *galerkinOp) Apply(x, y la.Vec) {
+	if o.a == nil {
+		if err := o.Setup(); err != nil {
+			panic(err)
+		}
+	}
+	o.a.MulVecPar(x, y, o.env.Workers)
+}
+
+func (o *galerkinOp) Diag(d la.Vec) {
+	if o.a == nil {
+		if err := o.Setup(); err != nil {
+			panic(err)
+		}
+	}
+	csrDiag(o.a, d)
+}
+
+func (o *galerkinOp) Cost() Cost {
+	c := asmCost(o.env.Prob.DA.NElements(), o.a)
+	// The triple product streams the finer matrix twice (A·P, then
+	// Pᵀ·(A·P)); charge it as two assembly-scale passes.
+	c.SetupFlops *= 2
+	c.SetupBytes *= 2
+	return c
+}
+
+func (o *galerkinOp) Kind() Kind   { return Galerkin }
+func (o *galerkinOp) CSR() *la.CSR { _ = o.Setup(); return o.a }
+
+// SetupTime reports the measured triple-product wall time.
+func (o *galerkinOp) SetupTime() time.Duration { return o.setupT }

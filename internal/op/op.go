@@ -1,0 +1,196 @@
+// Package op is the unified viscous-operator layer: a single Operator
+// interface over the four representations studied in the paper (tensor
+// matrix-free, reference matrix-free, rediscretized CSR, Galerkin CSR)
+// plus a cost-model-driven Auto selector that picks a representation per
+// multigrid level at runtime. The paper's headline observation — no
+// single representation wins everywhere; matrix-free dominates on fine
+// Q2 levels while assembled SpMV wins where the coarse solver needs a
+// matrix — lives here as behaviour instead of as constructor arguments
+// scattered across fem, mg and stokes.
+//
+// Every backend carries cost metadata (setup flops/bytes, per-apply
+// flops/bytes, assembled storage footprint) derived from the analytic
+// per-element counts in internal/perfmodel, so callers can rank
+// representations on a roofline model before ever applying one.
+package op
+
+import (
+	"fmt"
+
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/telemetry"
+)
+
+// Kind identifies an operator representation.
+type Kind int
+
+// Operator representations. The zero value is the tensor matrix-free
+// kernel — the paper's production fine-level choice — so zero-valued
+// configurations keep today's behaviour.
+const (
+	// Tensor applies the operator matrix-free with the tensor-product
+	// kernel ("Tens" in Tables I-III). Flag name: "mf".
+	Tensor Kind = iota
+	// MFRef applies the operator matrix-free with the reference
+	// non-tensor kernel ("MF"). Flag name: "mfref".
+	MFRef
+	// Assembled rediscretizes on the level's mesh and applies the CSR
+	// matrix by row-parallel SpMV ("Asmb"). Flag name: "asm".
+	Assembled
+	// Galerkin builds the CSR operator as the triple product Pᵀ·A_fine·P;
+	// requires an assembled finer level. Flag name: "galerkin".
+	Galerkin
+	// Auto selects a representation at runtime: candidates are ranked by
+	// roofline estimates, the first few real applies of the surviving
+	// candidates are timed, and the winner (assembly cost amortized over
+	// the expected apply count) is committed. Flag name: "auto".
+	Auto
+)
+
+// String returns the canonical flag name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Tensor:
+		return "mf"
+	case MFRef:
+		return "mfref"
+	case Assembled:
+		return "asm"
+	case Galerkin:
+		return "galerkin"
+	case Auto:
+		return "auto"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind parses a -op flag value (auto|mf|mfref|asm|galerkin, plus
+// the Table-I aliases tensor/tens, ref, asmb/assembled, rap).
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "mf", "tensor", "tens":
+		return Tensor, nil
+	case "mfref", "ref":
+		return MFRef, nil
+	case "asm", "asmb", "assembled":
+		return Assembled, nil
+	case "galerkin", "rap":
+		return Galerkin, nil
+	case "auto":
+		return Auto, nil
+	}
+	return 0, fmt.Errorf("op: unknown kind %q (want auto|mf|mfref|asm|galerkin)", s)
+}
+
+// Cost is a representation's absolute cost metadata (whole operator, not
+// per element): the one-time setup work, the per-application work, and
+// the resident memory an assembled form occupies.
+type Cost struct {
+	SetupFlops, SetupBytes float64
+	ApplyFlops, ApplyBytes float64
+	StorageBytes           float64
+}
+
+// Operator is the unified viscous-block operator: every representation
+// applies the symmetric-Dirichlet-eliminated operator y = A·x, exposes
+// its diagonal (for Jacobi/Chebyshev smoothing), its cost metadata, and
+// — when one exists — its assembled CSR form for coarse-solver handoff
+// (GAMG, block-Jacobi, ASM all consume a matrix).
+//
+// Representations that can evaluate residuals of boundary-valued states
+// additionally implement fem.ResidualOperator (ApplyFreeRows); assembled
+// forms satisfy it through an embedded matrix-free twin, mirroring
+// pTatin3D's always-matrix-free residuals.
+type Operator interface {
+	N() int
+	Apply(x, y la.Vec)
+	// Setup performs the representation's one-time construction
+	// (assembly, Galerkin triple product, stored-tensor precomputation).
+	// It is idempotent.
+	Setup() error
+	// Diag writes the operator diagonal (unit entries on constrained
+	// rows, never zero) into d.
+	Diag(d la.Vec)
+	Cost() Cost
+	Kind() Kind
+	// CSR returns the assembled matrix, or nil for matrix-free
+	// representations.
+	CSR() *la.CSR
+}
+
+// Env is the context a backend is built in. Prob is the level's
+// discretization; FineCSR/Prolong connect a level to the next-finer one
+// (they are closures so this package needs no dependency on internal/mg):
+// FineCSR returns the finer level's assembled matrix (nil if that level
+// is matrix-free) and Prolong the prolongation from this level to the
+// finer one as CSR. Both are nil outside a hierarchy.
+type Env struct {
+	Prob    *fem.Problem
+	Workers int
+	// Level / Levels locate the operator in a multigrid hierarchy
+	// (Level 0 is finest); informational, used for reporting.
+	Level, Levels int
+	FineCSR       func() *la.CSR
+	Prolong       func() *la.CSR
+	// Policy tunes Auto; nil selects DefaultPolicy.
+	Policy *Policy
+	// Telemetry, when non-nil, receives selection decisions and measured
+	// throughputs under a "select" child scope.
+	Telemetry *telemetry.Scope
+}
+
+// Builder constructs one representation in an environment.
+type Builder func(Env) (Operator, error)
+
+var registry = map[Kind]Builder{}
+
+// Register installs a builder for a kind (called by the backends at init;
+// exported so external packages can plug in additional representations).
+func Register(k Kind, b Builder) { registry[k] = b }
+
+// New builds the representation k for env. The returned operator is not
+// yet set up; call Setup before (or let the first Apply trigger) use.
+func New(k Kind, env Env) (Operator, error) {
+	if env.Prob == nil {
+		return nil, fmt.Errorf("op: nil problem")
+	}
+	if env.Workers <= 0 {
+		env.Workers = env.Prob.Workers
+	}
+	if env.Workers <= 0 {
+		env.Workers = 1
+	}
+	b, ok := registry[k]
+	if !ok {
+		return nil, fmt.Errorf("op: no builder registered for kind %v", k)
+	}
+	return b(env)
+}
+
+// DefaultLevelKinds returns the per-level representation layout for a
+// hierarchy of the given depth (index 0 = finest): the requested fine
+// kind, then the paper's production coarse layout — rediscretized CSR on
+// the first coarse level and Galerkin products below it (the finest
+// level is usually matrix-free, so the first coarse level cannot be a
+// Galerkin product of it). galerkinAll selects the GMG-ii variant where
+// every coarse operator is a Galerkin product (requires an assembled
+// fine level). A fine kind of Auto makes every level Auto — the selector
+// decides each level independently.
+func DefaultLevelKinds(levels int, fine Kind, galerkinAll bool) []Kind {
+	kinds := make([]Kind, levels)
+	kinds[0] = fine
+	for l := 1; l < levels; l++ {
+		switch {
+		case fine == Auto:
+			kinds[l] = Auto
+		case galerkinAll:
+			kinds[l] = Galerkin
+		case l == 1:
+			kinds[l] = Assembled
+		default:
+			kinds[l] = Galerkin
+		}
+	}
+	return kinds
+}

@@ -7,6 +7,7 @@
 package perfmodel
 
 import (
+	"sync"
 	"time"
 )
 
@@ -192,5 +193,43 @@ func MeasureMachine() Machine {
 	return Machine{
 		StreamBW: MeasureStream(1<<24, 3),
 		FlopRate: MeasureFlops(1<<22, 3),
+	}
+}
+
+var (
+	calOnce sync.Once
+	calMach Machine
+)
+
+// CalibratedMachine measures the machine balance once per process and
+// returns the cached result on every subsequent call. The per-level
+// operator auto-selection (internal/op) seeds its roofline ranking from
+// this: calibration costs ~1 s, so repeating it on every preconditioner
+// rebuild (one per nonlinear relinearization) would dwarf the cost it is
+// trying to model.
+func CalibratedMachine() Machine {
+	calOnce.Do(func() {
+		calMach = Machine{
+			StreamBW: MeasureStream(1<<22, 2),
+			FlopRate: MeasureFlops(1<<21, 2),
+		}
+	})
+	return calMach
+}
+
+// AssemblySetupCounts estimates the one-time per-element cost of
+// assembling the viscous block into CSR: the 27-point quadrature loop of
+// ElementViscousMatrix (~27×27 basis pairs × ~20 flops per quadrature
+// point) plus streaming the 81×81 element matrix out and scattering it
+// into the ~4608 stored nonzeros (16 B value+index each, read-modify-
+// write). Galerkin coarse construction (RAP) is charged the same order of
+// magnitude — both are "assembled" setups whose cost must be amortized
+// against the expected apply count when choosing a representation.
+func AssemblySetupCounts() OpCounts {
+	return OpCounts{
+		Name:          "AssemblySetup",
+		Flops:         27 * 27 * 27 * 20,
+		BytesPerfect:  81*81*8 + 4608*32,
+		BytesPessimal: 81*81*8 + 4608*32,
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"ptatin3d/internal/krylov"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mg"
+	"ptatin3d/internal/op"
 	"ptatin3d/internal/telemetry"
 )
 
@@ -18,9 +19,12 @@ type Config struct {
 	// algebraic preconditioner on the assembled fine operator (the SA-i /
 	// SAML-* rows of Table IV).
 	Levels int
-	// FineKind picks the fine-level operator realization: Tensor, MF, or
-	// assembled SpMV (the Asmb/MF/Tens columns of Tables I–III).
-	FineKind mg.LevelKind
+	// FineKind picks the fine-level operator representation (op.Tensor,
+	// op.MFRef, op.Assembled — the Tens/MF/Asmb columns of Tables I–III —
+	// or op.Auto for runtime selection on every level). op.Galerkin is
+	// shorthand for the GMG-ii layout: assembled fine level with Galerkin
+	// products on every coarse level.
+	FineKind op.Kind
 	// GalerkinAll makes every coarse operator a Galerkin product (the
 	// GMG-ii configuration); requires an assembled fine level.
 	GalerkinAll bool
@@ -46,8 +50,9 @@ type Config struct {
 	// Telemetry, when non-nil, is the scope the solver instruments itself
 	// under: "outer" (matmult/pcapply/coarse timers, setup_seconds gauge),
 	// "krylov" (outer iteration counters + residual trace), "mg"/"amg"
-	// (per-level cycle breakdowns). When nil the solver still wires its
-	// probes to a private registry so MatMult/PCApply counts stay live.
+	// (per-level cycle breakdowns, op.Auto selection decisions under
+	// mg/level<i>/select). When nil the solver still wires its probes to a
+	// private registry so MatMult/PCApply counts stay live.
 	Telemetry *telemetry.Scope
 	// Workers is the intra-node parallel width ("cores").
 	Workers int
@@ -67,7 +72,7 @@ func DefaultConfig() Config {
 	prm.Restart = 50
 	return Config{
 		Levels:       3,
-		FineKind:     mg.MatrixFreeTensor,
+		FineKind:     op.Tensor,
 		SmoothSteps:  2,
 		CoarseSolver: "gamg",
 		OuterMethod:  "gcr",
@@ -114,6 +119,12 @@ func New(prob *fem.Problem, cfg Config) (*Solver, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.FineKind == op.Galerkin {
+		// -op=galerkin means the GMG-ii layout: assembled fine operator
+		// with Galerkin products on every coarse level.
+		cfg.FineKind = op.Assembled
+		cfg.GalerkinAll = true
+	}
 	prob.Workers = cfg.Workers
 	s := &Solver{Cfg: cfg, Prob: prob}
 	s.Tel = cfg.Telemetry
@@ -124,17 +135,21 @@ func New(prob *fem.Problem, cfg Config) (*Solver, error) {
 	s.C = fem.NewCoupling(prob)
 	s.Mp = fem.NewPressureMass(prob)
 
-	// Fine-level viscous operator for the coupled matvec.
-	var auu fem.Operator
-	switch cfg.FineKind {
-	case mg.MatrixFreeTensor:
-		auu = fem.NewTensor(prob)
-	case mg.MatrixFreeRef:
-		auu = fem.NewMF(prob)
-	default:
-		// Assembled SpMV for the Krylov operator; residuals still need a
-		// matrix-free operator, so keep one around via a hybrid wrapper.
-		auu = &asmWithResidual{AsmOp: fem.NewAsm(prob), mf: fem.NewTensor(prob)}
+	// Fine-level viscous operator, shared between the coupled matvec and
+	// the multigrid hierarchy (mg.Options.FineOp), so it is built once.
+	mgScope := s.Tel.Child("mg")
+	auu, err := op.New(cfg.FineKind, op.Env{
+		Prob:      prob,
+		Workers:   cfg.Workers,
+		Level:     0,
+		Levels:    max(1, cfg.Levels),
+		Telemetry: mgScope.Child("level0"),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stokes: fine operator: %w", err)
+	}
+	if err := auu.Setup(); err != nil {
+		return nil, fmt.Errorf("stokes: fine operator setup: %w", err)
 	}
 	s.Op = NewOp(prob, auu, s.C)
 
@@ -157,24 +172,16 @@ func New(prob *fem.Problem, cfg Config) (*Solver, error) {
 		s.SA = sa
 		innerU = sa
 	} else {
-		probs := mg.CoarsenProblems(prob, cfg.Levels, cfg.CoeffCoarsen)
-		kinds := make([]mg.LevelKind, cfg.Levels)
-		kinds[0] = cfg.FineKind
-		for l := 1; l < cfg.Levels; l++ {
-			switch {
-			case cfg.GalerkinAll:
-				kinds[l] = mg.AssembledGalerkin
-			case l == 1:
-				kinds[l] = mg.AssembledRedisc
-			default:
-				kinds[l] = mg.AssembledGalerkin
-			}
-		}
-		if cfg.GalerkinAll && cfg.FineKind != mg.AssembledRedisc {
+		if cfg.GalerkinAll && cfg.FineKind != op.Assembled {
 			return nil, fmt.Errorf("stokes: GalerkinAll requires an assembled fine level")
 		}
+		probs := mg.CoarsenProblems(prob, cfg.Levels, cfg.CoeffCoarsen)
 		gmg, err := mg.Build(probs, mg.Options{
-			Kinds: kinds, SmoothSteps: cfg.SmoothSteps, Workers: cfg.Workers,
+			Kinds:       op.DefaultLevelKinds(cfg.Levels, cfg.FineKind, cfg.GalerkinAll),
+			SmoothSteps: cfg.SmoothSteps,
+			Workers:     cfg.Workers,
+			FineOp:      auu,
+			Telemetry:   mgScope,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("stokes: GMG setup: %w", err)
@@ -186,7 +193,7 @@ func New(prob *fem.Problem, cfg Config) (*Solver, error) {
 		s.SA = sa
 		s.CoarseApply = NewPCProbe(coarse, s.Tel.Child("outer").Timer("coarse"))
 		gmg.CoarseSolve = s.CoarseApply
-		gmg.SetTelemetry(s.Tel.Child("mg"))
+		gmg.SetTelemetry(mgScope)
 		s.MG = gmg
 		innerU = gmg
 	}
@@ -205,30 +212,47 @@ func New(prob *fem.Problem, cfg Config) (*Solver, error) {
 	return s, nil
 }
 
-// buildCoarseSolver instantiates the coarsest-level solver.
+// SelectionReport returns the per-level op.Auto decisions of the
+// hierarchy (nil when no level selects at runtime).
+func (s *Solver) SelectionReport() []op.Decision {
+	var out []op.Decision
+	if a, ok := s.Op.Auu.(*op.AutoOp); ok && s.MG == nil {
+		a.ForceCommit()
+		out = append(out, a.Decision())
+	}
+	if s.MG != nil {
+		out = append(out, s.MG.SelectionReport()...)
+	}
+	return out
+}
+
+// buildCoarseSolver instantiates the coarsest-level solver from the
+// hierarchy's assembled coarse matrix (op.Operator.CSR — the op layer's
+// coarse-level handoff to the algebraic solvers).
 func buildCoarseSolver(gmg *mg.MG, coarseProb *fem.Problem, cfg Config) (krylov.Preconditioner, *amg.SA, error) {
 	last := gmg.Levels[len(gmg.Levels)-1]
-	if last.CSR == nil {
+	a := last.Op.CSR()
+	if a == nil {
 		return nil, nil, fmt.Errorf("stokes: coarsest GMG level must be assembled")
 	}
 	switch cfg.CoarseSolver {
 	case "", "gamg":
 		opt := amg.GAMGLike()
 		opt.SmoothSteps = max(1, cfg.SmoothSteps)
-		sa, err := amg.New(last.CSR, 3, amg.RigidBodyModes(coarseProb.DA.Coords, coarseProb.BC.Mask), opt)
+		sa, err := amg.New(a, 3, amg.RigidBodyModes(coarseProb.DA.Coords, coarseProb.BC.Mask), opt)
 		if err != nil {
 			return nil, nil, fmt.Errorf("stokes: GAMG coarse solver: %w", err)
 		}
 		return sa, sa, nil
 	case "lu":
-		bj, err := krylov.NewBlockJacobi(last.CSR, 1)
+		bj, err := krylov.NewBlockJacobi(a, 1)
 		return bj, nil, err
 	case "bjacobi":
 		nb := cfg.CoarseBlocks
 		if nb <= 0 {
 			nb = 8
 		}
-		bj, err := krylov.NewBlockJacobi(last.CSR, nb)
+		bj, err := krylov.NewBlockJacobi(a, nb)
 		return bj, nil, err
 	case "asmcg":
 		nsub := cfg.ASMSubdomains
@@ -239,12 +263,12 @@ func buildCoarseSolver(gmg *mg.MG, coarseProb *fem.Problem, cfg Config) (krylov.
 		if ov <= 0 {
 			ov = 4
 		}
-		asmPC, err := krylov.NewASM(last.CSR, krylov.ASMOptions{Subdomains: nsub, Overlap: ov})
+		asmPC, err := krylov.NewASM(a, krylov.ASMOptions{Subdomains: nsub, Overlap: ov})
 		if err != nil {
 			return nil, nil, fmt.Errorf("stokes: ASM coarse solver: %w", err)
 		}
 		inner := &krylov.InnerKrylov{
-			A: krylov.CSROp{A: last.CSR}, M: asmPC, Method: "cg",
+			A: krylov.CSROp{A: a}, M: asmPC, Method: "cg",
 			Prm: krylov.Params{RTol: 1e-4, ATol: 1e-300, MaxIt: 25},
 		}
 		return inner, nil, nil
@@ -253,10 +277,10 @@ func buildCoarseSolver(gmg *mg.MG, coarseProb *fem.Problem, cfg Config) (krylov.
 }
 
 // viscousCSR obtains the assembled viscous block backing an operator, or
-// assembles one.
-func viscousCSR(auu fem.Operator, prob *fem.Problem) *la.CSR {
-	if h, ok := auu.(*asmWithResidual); ok {
-		return h.AsmOp.A
+// assembles one for representations that have none.
+func viscousCSR(auu op.Operator, prob *fem.Problem) *la.CSR {
+	if a := auu.CSR(); a != nil {
+		return a
 	}
 	return fem.AssembleViscous(prob)
 }
@@ -318,15 +342,3 @@ func max(a, b int) int {
 	}
 	return b
 }
-
-// asmWithResidual pairs an assembled SpMV operator (used in the Krylov
-// matvec) with a matrix-free operator for residual evaluation.
-type asmWithResidual struct {
-	*fem.AsmOp
-	mf *fem.TensorOp
-}
-
-// ApplyFreeRows delegates residual-form application to the matrix-free
-// twin (assembled matrices drop constrained columns, so they cannot
-// evaluate residuals of boundary-valued states).
-func (h *asmWithResidual) ApplyFreeRows(u, y la.Vec) { h.mf.ApplyFreeRows(u, y) }

@@ -10,6 +10,7 @@ import (
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mesh"
 	"ptatin3d/internal/mg"
+	"ptatin3d/internal/op"
 )
 
 // sinkerDef is a deterministic miniature of the paper's sedimentation
@@ -318,7 +319,7 @@ func TestPureAMGConfiguration(t *testing.T) {
 	p, def := sinkerProblem(6, 100, 1)
 	cfg := sinkerConfig(p, def)
 	cfg.Levels = 1
-	cfg.FineKind = mg.AssembledSpMV
+	cfg.FineKind = op.Assembled
 	cfg.AMGConfig = "gamg"
 	cfg.Params.MaxIt = 400
 	s, x, res := solveSinker(t, 6, 100, cfg, def, p)

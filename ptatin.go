@@ -35,10 +35,10 @@ import (
 	"ptatin3d/internal/krylov"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mesh"
-	"ptatin3d/internal/mg"
 	"ptatin3d/internal/model"
 	"ptatin3d/internal/mpm"
 	"ptatin3d/internal/nonlinear"
+	"ptatin3d/internal/op"
 	"ptatin3d/internal/perfmodel"
 	"ptatin3d/internal/rheology"
 	"ptatin3d/internal/stokes"
@@ -122,12 +122,21 @@ type (
 	Monitor = stokes.Monitor
 )
 
-// Fine-level operator kinds (Table I variants).
+// Operator-representation kinds (Table I variants plus runtime
+// selection); see internal/op.
 const (
-	MatrixFreeTensor = mg.MatrixFreeTensor
-	MatrixFreeRef    = mg.MatrixFreeRef
-	AssembledSpMV    = mg.AssembledSpMV
+	MatrixFreeTensor = op.Tensor
+	MatrixFreeRef    = op.MFRef
+	AssembledSpMV    = op.Assembled
+	GalerkinCSR      = op.Galerkin
+	AutoSelect       = op.Auto
 )
+
+// OpKind identifies an operator representation.
+type OpKind = op.Kind
+
+// ParseOpKind parses a -op flag value (auto|mf|mfref|asm|galerkin).
+func ParseOpKind(s string) (OpKind, error) { return op.ParseKind(s) }
 
 // DefaultStokesConfig returns the paper's production configuration
 // (§IV-A): 3 levels, matrix-free tensor fine level, V(2,2) Chebyshev,

@@ -11,6 +11,7 @@ import (
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/model"
+	"ptatin3d/internal/op"
 	"ptatin3d/internal/stokes"
 	"ptatin3d/internal/telemetry"
 )
@@ -118,6 +119,6 @@ func TestGoldenRecoverySinker3(t *testing.T) {
 
 	// The standard solve on the same configuration must still reproduce the
 	// golden record.
-	rec := sinker3Record(t)
+	rec := sinker3Record(t, op.Tensor)
 	checkGolden(t, "golden_sinker3", rec, stokes.DefaultConfig().Params.RTol)
 }

@@ -27,6 +27,9 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== operator representation equivalence =="
+go test -run='^TestOpEquivalence$' -count=1 ./internal/op
+
 echo "== go test -short -race =="
 go test -short -race ./...
 
