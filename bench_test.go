@@ -18,6 +18,7 @@ package ptatin3d_test
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"ptatin3d/internal/fem"
@@ -369,3 +370,76 @@ func telemetrySolveBench(b *testing.B, enabled bool) {
 
 func BenchmarkTelemetry_StokesSolveDisabled(b *testing.B) { telemetrySolveBench(b, false) }
 func BenchmarkTelemetry_StokesSolveEnabled(b *testing.B)  { telemetrySolveBench(b, true) }
+
+// --- Colored vs slab apply schedule (PR 4) -----------------------------
+//
+// BenchmarkApplySchedule pits the legacy 8-color barrier schedule against
+// the slab-partitioned owner-computes scatter on the same tensor operator.
+// The slab path removes the 8 per-apply barriers, restores lexicographic
+// element order, and batches gather→kernel→scatter — the per-apply win is
+// the headline number of the PR 4 benchmark (BENCH_PR4.json).
+
+func applyScheduleBench(b *testing.B, workers int, colored bool) {
+	p := benchProblem(12)
+	p.Workers = workers
+	t := fem.NewTensor(p)
+	u := la.NewVec(t.N())
+	for i := range u {
+		u[i] = math.Sin(float64(i))
+	}
+	y := la.NewVec(t.N())
+	apply := t.Apply
+	if colored {
+		apply = t.ApplyColored
+	}
+	apply(u, y) // warm (builds the slab partition / color schedule)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apply(u, y)
+	}
+}
+
+func BenchmarkApplyColoredW1(b *testing.B) { applyScheduleBench(b, 1, true) }
+func BenchmarkApplyColoredW4(b *testing.B) { applyScheduleBench(b, 4, true) }
+func BenchmarkApplySlabW1(b *testing.B)    { applyScheduleBench(b, 1, false) }
+func BenchmarkApplySlabW4(b *testing.B)    { applyScheduleBench(b, 4, false) }
+
+// --- Pool dispatch vs per-call goroutine spawn -------------------------
+//
+// BenchmarkDispatch isolates the cost the persistent pool removes: the
+// spawn variant recreates the pre-PR-4 behaviour (fresh goroutines plus a
+// WaitGroup barrier per call), the pool variant goes through par.For. The
+// body is deliberately tiny so the dispatch overhead dominates, as it did
+// for the 8 small color sweeps per colored apply.
+
+func BenchmarkDispatchSpawn(b *testing.B) {
+	sink := make([]float64, 4096)
+	const nw = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			lo, hi := w*len(sink)/nw, (w+1)*len(sink)/nw
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for j := lo; j < hi; j++ {
+					sink[j] += 1
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkDispatchPool(b *testing.B) {
+	sink := make([]float64, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		par.For(4, len(sink), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				sink[j] += 1
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"ptatin3d/internal/fem"
@@ -30,8 +31,11 @@ type config struct {
 func main() {
 	m := flag.Int("m", 8, "elements per direction (paper: 64)")
 	deta := flag.Float64("deta", 100, "viscosity contrast")
-	workers := flag.Int("workers", 2, "worker goroutines")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = runtime.NumCPU())")
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
 
 	configs := []config{
 		{"GMG-i", func(c *stokes.Config) {

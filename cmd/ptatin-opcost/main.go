@@ -19,7 +19,7 @@
 // CSR, and — where a 2× finer mesh is affordable — the Galerkin product)
 // over the -grids level sizes and emits a machine-readable benchmark
 // (apply time, MDoF/s, setup time per backend per size) on stdout; this is
-// the producer behind scripts/bench.sh's BENCH_PR3.json.
+// the producer behind scripts/bench.sh's BENCH_PR4.json.
 package main
 
 import (
@@ -29,6 +29,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -46,14 +47,17 @@ import (
 
 func main() {
 	m := flag.Int("m", 16, "elements per direction")
-	workers := flag.Int("workers", 1, "worker goroutines")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = runtime.NumCPU())")
 	reps := flag.Int("reps", 5, "timing repetitions (best-of)")
 	telFlag := flag.Bool("telemetry", false, "run an instrumented MG Stokes solve and emit the telemetry table + JSON")
-	jsonFlag := flag.Bool("json", false, "emit the machine-readable per-backend benchmark (BENCH_PR3 schema) and exit")
+	jsonFlag := flag.Bool("json", false, "emit the machine-readable per-backend benchmark (BENCH_PR4 schema) and exit")
 	grids := flag.String("grids", "4,8,12", "comma-separated level sizes for -json")
 	opFlag := flag.String("op", "", "restrict -json to one backend (mf|mfref|asm|galerkin)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
 
 	if *jsonFlag {
 		runJSONBench(*grids, *opFlag, *workers, *reps)
@@ -168,6 +172,8 @@ func runTelemetrySolve(p *fem.Problem, workers int) {
 	reg := telemetry.New()
 	par.SetTelemetry(reg.Root().Child("par"))
 	defer par.SetTelemetry(nil)
+	fem.SetTelemetry(reg.Root().Child("fem"))
+	defer fem.SetTelemetry(nil)
 
 	// Give the Table-I problem a nontrivial body force so the solve has a
 	// real RHS: variable density under vertical gravity.
@@ -232,7 +238,7 @@ func benchProblem(m, workers int) *fem.Problem {
 	return p
 }
 
-// benchRecord is one (backend, size) measurement in the BENCH_PR3 schema.
+// benchRecord is one (backend, size) measurement in the BENCH_PR4 schema.
 type benchRecord struct {
 	M        int     `json:"m"`
 	N        int     `json:"n"`
@@ -243,7 +249,7 @@ type benchRecord struct {
 }
 
 // runJSONBench times each internal/op backend's Apply at each level size
-// and writes the BENCH_PR3 JSON document to stdout. The Galerkin backend
+// and writes the BENCH_PR4 JSON document to stdout. The Galerkin backend
 // needs an assembled 2× finer mesh, so it is only benchmarked at sizes
 // where that matrix stays affordable.
 func runJSONBench(grids, only string, workers, reps int) {
@@ -330,7 +336,7 @@ func runJSONBench(grids, only string, workers, reps int) {
 			FlopGFs   float64 `json:"flop_gf_per_s"`
 		} `json:"machine"`
 		Results []benchRecord `json:"results"`
-	}{Schema: "BENCH_PR3", Workers: workers, Reps: reps, Results: records}
+	}{Schema: "BENCH_PR4", Workers: workers, Reps: reps, Results: records}
 	doc.Machine.StreamGBs = mach.StreamBW / 1e9
 	doc.Machine.FlopGFs = mach.FlopRate / 1e9
 	enc := json.NewEncoder(os.Stdout)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"ptatin3d/internal/model"
 	"ptatin3d/internal/op"
@@ -32,7 +33,7 @@ func main() {
 	my := flag.Int("my", 8, "elements in y (paper: 32)")
 	mz := flag.Int("mz", 16, "elements in z (paper: 128)")
 	steps := flag.Int("steps", 5, "time steps (paper: 1500-2000)")
-	workers := flag.Int("workers", 4, "worker goroutines")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = runtime.NumCPU())")
 	opFlag := flag.String("op", "", "fine-level operator representation (auto|mf|mfref|asm|galerkin)")
 	oblique := flag.Bool("oblique", false, "apply z-shortening (BC variant ii)")
 	weak := flag.Float64("weak", 0.05, "lower-crust viscosity (nondim)")
@@ -42,6 +43,9 @@ func main() {
 	ckptPath := flag.String("checkpoint", "rift.chkpt", "checkpoint file path")
 	restartFrom := flag.String("restart-from", "", "restore model state from this checkpoint before stepping")
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
 
 	o := model.DefaultRiftOptions()
 	o.Mx, o.My, o.Mz = *mx, *my, *mz

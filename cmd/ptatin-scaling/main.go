@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -48,7 +49,7 @@ func parseInts(s string) []int {
 
 func main() {
 	grids := flag.String("grids", "8,12,16", "comma-separated grid sizes (elements/direction)")
-	cores := flag.String("cores", "1,2,4", "comma-separated worker counts")
+	cores := flag.String("cores", "1,2,4", "comma-separated worker counts (0 entries = runtime.NumCPU())")
 	deta := flag.Float64("deta", 100, "viscosity contrast")
 	opFlag := flag.String("op", "", "restrict the sweep to one fine-level representation (auto|mf|mfref|asm|galerkin); default sweeps asm, mfref and mf")
 	telFlag := flag.Bool("telemetry", false, "emit the per-run telemetry table + JSON after the sweep")
@@ -66,6 +67,8 @@ func main() {
 		telReg = telemetry.New()
 		par.SetTelemetry(telReg.Root().Child("par"))
 		defer par.SetTelemetry(nil)
+		fem.SetTelemetry(telReg.Root().Child("fem"))
+		defer fem.SetTelemetry(nil)
 	}
 
 	counts := map[string]perfmodel.OpCounts{}
@@ -100,8 +103,14 @@ func main() {
 		"grid", "cores", "SpMV", "its", "coarse-setup", "coarse-apply", "solve(s)",
 		"E/C/s", "GF/C/s", "GF/s")
 
+	coreList := parseInts(*cores)
+	for i, c := range coreList {
+		if c <= 0 {
+			coreList[i] = runtime.NumCPU()
+		}
+	}
 	for _, g := range parseInts(*grids) {
-		for _, c := range parseInts(*cores) {
+		for _, c := range coreList {
 			for _, kind := range kinds {
 				runOne(g, c, *deta, kind, kindName[kind], counts[countName[kind]])
 			}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
@@ -33,7 +34,7 @@ func main() {
 	m := flag.Int("m", 8, "elements per direction (paper: 64)")
 	nc := flag.Int("nc", 8, "number of spheres")
 	rc := flag.Float64("rc", 0.1, "sphere radius")
-	workers := flag.Int("workers", 2, "worker goroutines")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = runtime.NumCPU())")
 	opFlag := flag.String("op", "", "fine-level operator representation (auto|mf|mfref|asm|galerkin)")
 	fig2 := flag.Bool("fig2", false, "run the Δη robustness study (Figure 2)")
 	stream := flag.Bool("streamlines", false, "write Figure 1 VTK outputs")
@@ -45,6 +46,9 @@ func main() {
 	ckptPath := flag.String("checkpoint", "sinker.chkpt", "checkpoint file path")
 	restartFrom := flag.String("restart-from", "", "restore model state from this checkpoint before stepping")
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
 
 	if *cpuprofile != "" {
 		stop, err := telemetry.StartCPUProfile(*cpuprofile)
@@ -58,6 +62,8 @@ func main() {
 		reg = telemetry.New()
 		par.SetTelemetry(reg.Root().Child("par"))
 		defer par.SetTelemetry(nil)
+		fem.SetTelemetry(reg.Root().Child("fem"))
+		defer fem.SetTelemetry(nil)
 		// Table + JSON go to stderr so the CSV/step output stays clean.
 		defer func() {
 			fmt.Fprintln(os.Stderr, "\n# Telemetry breakdown")

@@ -83,6 +83,37 @@ func TestConcurrentParAndHaloStress(t *testing.T) {
 		}()
 	}
 
+	// Nested-dispatch side: bodies already running on the pool call
+	// par.For again with a different worker count — this is the pattern
+	// the slab apply uses when an operator application runs inside a
+	// rank body, and it must neither deadlock nor lose work.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters*2; it++ {
+				var total int64
+				var mu sync.Mutex
+				par.For(2+g, 8, func(olo, ohi int) {
+					for o := olo; o < ohi; o++ {
+						par.For(3, 100, func(lo, hi int) {
+							mu.Lock()
+							total += int64(hi - lo)
+							mu.Unlock()
+						})
+					}
+				})
+				if total != 800 {
+					select {
+					case parErr <- "nested par.For lost work":
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+
 	// Distributed side: repeated halo-exchanged operator applications, each
 	// rank recording into its own telemetry scope.
 	mpmScope := reg.Root().Child("stress")

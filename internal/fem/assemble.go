@@ -101,7 +101,8 @@ func AssembleViscous(p *Problem) *la.CSR {
 	a.ColInd = make([]int, a.RowPtr[ndof])
 	a.Val = make([]float64, a.RowPtr[ndof])
 	// Fill sorted column indices (same box for the 3 component rows).
-	par.ForItems(p.Workers, nn, func(n int) {
+	par.ForItems(p.Workers, nn, func(n int) { // setup-only: not a hot path
+
 		v := &pats[n]
 		pos := a.RowPtr[3*n]
 		row := a.ColInd[pos : pos+(a.RowPtr[3*n+1]-a.RowPtr[3*n])]
@@ -201,15 +202,12 @@ func Diagonal(p *Problem, d la.Vec) {
 	if len(d) != p.DA.NVelDOF() {
 		panic("fem: Diagonal length mismatch")
 	}
-	d.Zero()
-	p.forEachElementColored(func(e int) {
-		var xe [81]float64
-		p.gatherCoords(e, &xe)
+	p.slabApply(nil, false, true, false, d, func(e int, _, xe, de *[81]float64, _ *kernScratch) {
 		eta := p.Eta[NQP*e : NQP*e+NQP]
-		var de [81]float64
+		*de = [81]float64{}
 		var jinv [9]float64
 		for q := 0; q < NQP; q++ {
-			detJ := jacobianAt(&xe, q, &jinv)
+			detJ := jacobianAt(xe, q, &jinv)
 			s := eta[q] * W3[q] * detJ
 			gq := &G27[q]
 			for n := 0; n < 27; n++ {
@@ -223,7 +221,6 @@ func Diagonal(p *Problem, d la.Vec) {
 				de[3*n+2] += s * (norm + pz*pz)
 			}
 		}
-		p.scatterAdd(e, &de, d)
 	})
 	for r, m := range p.BC.Mask {
 		if m {

@@ -122,20 +122,12 @@ func (c *Coupling) Setup() {
 // rows are untouched — the caller owns their identity handling).
 func (c *Coupling) ApplyGAdd(pv, yu la.Vec) {
 	p := c.P
-	mask := p.BC.Mask
-	p.forEachElementColored(func(e int) {
+	p.slabApply(nil, false, false, true, yu, func(e int, _, _, ye *[81]float64, _ *kernScratch) {
 		ge := c.Ge[324*e : 324*e+324]
-		pe := pv[4*e : 4*e+4]
-		em := p.Emap[27*e : 27*e+27]
-		for n := 0; n < 27; n++ {
-			d := 3 * int(em[n])
-			for a := 0; a < 3; a++ {
-				if mask[d+a] {
-					continue
-				}
-				row := ge[(3*n+a)*4 : (3*n+a)*4+4]
-				yu[d+a] += row[0]*pe[0] + row[1]*pe[1] + row[2]*pe[2] + row[3]*pe[3]
-			}
+		p0, p1, p2, p3 := pv[4*e], pv[4*e+1], pv[4*e+2], pv[4*e+3]
+		for i := 0; i < 81; i++ {
+			row := ge[4*i : 4*i+4]
+			ye[i] = row[0]*p0 + row[1]*p1 + row[2]*p2 + row[3]*p3
 		}
 	})
 }

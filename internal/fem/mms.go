@@ -14,13 +14,11 @@ func MomentumRHSFunc(p *Problem, f func(x, y, z float64) (fx, fy, fz float64), b
 	if len(b) != p.DA.NVelDOF() {
 		panic("fem: MomentumRHSFunc length mismatch")
 	}
-	b.Zero()
-	p.forEachElementColored(func(e int) {
-		var xe, be [81]float64
-		p.gatherCoords(e, &xe)
+	p.slabApply(nil, false, true, false, b, func(e int, _, xe, be *[81]float64, _ *kernScratch) {
+		*be = [81]float64{}
 		var jinv [9]float64
 		for q := 0; q < NQP; q++ {
-			detJ := jacobianAt(&xe, q, &jinv)
+			detJ := jacobianAt(xe, q, &jinv)
 			var x, y, z float64
 			for n := 0; n < 27; n++ {
 				nn := N27[q][n]
@@ -37,7 +35,6 @@ func MomentumRHSFunc(p *Problem, f func(x, y, z float64) (fx, fy, fz float64), b
 				be[3*n+2] += s * fz
 			}
 		}
-		p.scatterAdd(e, &be, b)
 	})
 }
 

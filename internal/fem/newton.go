@@ -42,24 +42,19 @@ func (op *NewtonOp) N() int { return op.Base.N() }
 // elimination.
 func (op *NewtonOp) Apply(u, y la.Vec) {
 	p := op.Base.P
-	y.Zero()
-	p.forEachElementColored(func(e int) {
-		var ue, xe, ye [81]float64
-		p.gatherVec(e, u, &ue)
-		p.gatherCoords(e, &xe)
-		eta := p.Eta[NQP*e : NQP*e+NQP]
-		op.elementApply(e, &ue, &xe, eta, &ye)
-		p.scatterAdd(e, &ye, y)
+	p.slabApply(u, true, true, false, y, func(e int, ue, xe, ye *[81]float64, ks *kernScratch) {
+		op.elementApply(e, ue, xe, p.Eta[NQP*e:NQP*e+NQP], ye, ks)
 	})
 	applyIdentityRows(p, u, y)
 }
 
 // elementApply is the tensor kernel plus the rank-one Newton term.
-func (op *NewtonOp) elementApply(e int, ue, xe *[81]float64, eta []float64, ye *[81]float64) {
-	var ug0, ug1, ug2, xg0, xg1, xg2 [81]float64
-	tensorGrads(ue, &ug0, &ug1, &ug2)
-	tensorGrads(xe, &xg0, &xg1, &xg2)
-	var h0, h1, h2 [81]float64
+func (op *NewtonOp) elementApply(e int, ue, xe *[81]float64, eta []float64, ye *[81]float64, ks *kernScratch) {
+	ug0, ug1, ug2 := &ks.ug0, &ks.ug1, &ks.ug2
+	xg0, xg1, xg2 := &ks.xg0, &ks.xg1, &ks.xg2
+	tensorGrads(ue, ug0, ug1, ug2, ks)
+	tensorGrads(xe, xg0, xg1, xg2, ks)
+	h0, h1, h2 := &ks.h0, &ks.h1, &ks.h2
 	var jmat, jinv, inv, g, h [9]float64
 	for q := 0; q < NQP; q++ {
 		for m := 0; m < 3; m++ {
@@ -124,5 +119,5 @@ func (op *NewtonOp) elementApply(e int, ue, xe *[81]float64, eta []float64, ye *
 			h2[q*3+a] = h[a*3+2]
 		}
 	}
-	tensorScatterAdd(&h0, &h1, &h2, ye)
+	tensorScatterWrite(h0, h1, h2, ye, ks)
 }

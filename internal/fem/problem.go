@@ -28,9 +28,13 @@ type Problem struct {
 	// colorOff/colorElems partition the elements into 8 parity classes.
 	// Elements of the same class share no nodes, so element loops within a
 	// class can scatter to the global residual concurrently without
-	// synchronization.
+	// synchronization. Retained for the assembly numeric pass and as the
+	// reference schedule in equivalence tests; the apply hot paths use the
+	// slab partition below (slab.go).
 	colorOff   [9]int
 	colorElems []int32
+
+	slabState
 }
 
 // NewProblem builds a Problem on the given mesh with the given constraints.
@@ -88,9 +92,11 @@ func (p *Problem) buildColors() {
 // node-indexed arrays without atomics.
 func (p *Problem) forEachElementColored(body func(e int)) {
 	for c := 0; c < 8; c++ {
-		lo, hi := p.colorOff[c], p.colorOff[c+1]
-		par.ForItems(p.Workers, hi-lo, func(i int) {
-			body(int(p.colorElems[lo+i]))
+		elems := p.colorElems[p.colorOff[c]:p.colorOff[c+1]]
+		par.For(p.Workers, len(elems), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				body(int(elems[i]))
+			}
 		})
 	}
 }
@@ -98,7 +104,11 @@ func (p *Problem) forEachElementColored(body func(e int)) {
 // forEachElement runs body(e) over all elements in parallel with no
 // scatter protection (used for loops writing only element-local data).
 func (p *Problem) forEachElement(body func(e int)) {
-	par.ForItems(p.Workers, p.DA.NElements(), func(e int) { body(e) })
+	par.For(p.Workers, p.DA.NElements(), func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			body(e)
+		}
+	})
 }
 
 // gatherCoords fills xe (27 nodes × 3, node-major) with the coordinates of

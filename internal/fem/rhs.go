@@ -14,14 +14,12 @@ func MomentumRHS(p *Problem, b la.Vec) {
 	if len(b) != p.DA.NVelDOF() {
 		panic("fem: MomentumRHS length mismatch")
 	}
-	b.Zero()
 	g := p.Gravity
-	p.forEachElementColored(func(e int) {
-		var xe, be [81]float64
-		p.gatherCoords(e, &xe)
+	p.slabApply(nil, false, true, false, b, func(e int, _, xe, be *[81]float64, _ *kernScratch) {
+		*be = [81]float64{}
 		var jinv [9]float64
 		for q := 0; q < NQP; q++ {
-			detJ := jacobianAt(&xe, q, &jinv)
+			detJ := jacobianAt(xe, q, &jinv)
 			w := W3[q] * detJ * p.Rho[NQP*e+q]
 			f0, f1, f2 := w*g[0], w*g[1], w*g[2]
 			for n := 0; n < 27; n++ {
@@ -31,7 +29,6 @@ func MomentumRHS(p *Problem, b la.Vec) {
 				be[3*n+2] += nn * f2
 			}
 		}
-		p.scatterAdd(e, &be, b)
 	})
 }
 

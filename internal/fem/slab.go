@@ -1,0 +1,334 @@
+package fem
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/par"
+	"ptatin3d/internal/telemetry"
+)
+
+// Slab-partitioned owner-computes scatter: the barrier-free replacement
+// for the 8-color element schedule on every operator apply path.
+//
+// Elements are split into S contiguous slabs. A worker that processes
+// slab s scatter-adds directly into the global vector for nodes touched
+// by slab s alone ("interior" nodes — the overwhelming majority), and
+// accumulates contributions to nodes shared with other slabs into a small
+// private per-slab overlap buffer. After all slabs finish, one
+// node-parallel merge pass folds the buffers into the global vector,
+// summing each shared node's slab contributions in ascending slab order.
+//
+// This is the shared-memory analogue of the paper's rank-local element
+// loops followed by a halo sum (VecGhostUpdate): the slab plays the role
+// of the MPI rank's element partition, the overlap buffer the role of the
+// ghost region, and the merge pass the role of the neighborhood
+// reduction. Compared to coloring it removes the 8 full barriers per
+// apply and restores the cache-friendly lexicographic element order.
+//
+// Determinism: S is fixed at first use — min(nel, max(8, GOMAXPROCS)) —
+// and never depends on Problem.Workers. Elements within a slab run in
+// ascending order on one worker, and the merge sums slabs in ascending
+// index, so the floating-point association of every output entry is a
+// function of the mesh alone: results are bit-identical for any worker
+// count, which the colored schedule never guaranteed.
+
+// slabBlock is the gather→apply→scatter batch width: enough elements to
+// amortize the Emap indirection and keep the three scratch blocks
+// (~15 kB) inside L1.
+const slabBlock = 8
+
+// kernScratch is the reusable per-worker arena handed to slab kernels: the
+// intermediate [81]float64 fields of the tensor contractions. Declaring
+// these as kernel locals costs a ~10 kB duffzero per element; the arena is
+// zeroed once per worker chunk and every kernel fully overwrites the
+// fields it reads, so elements stream through with no zero-init churn.
+//
+// Conventions (see tensor.go): ug/xg hold state and coordinate reference
+// gradients, h the quadrature cotangents, t0–t5 are contraction
+// temporaries clobbered by tensorGrads (t0–t4) and tensorScatterWrite
+// (t0–t5).
+type kernScratch struct {
+	ug0, ug1, ug2          [81]float64
+	xg0, xg1, xg2          [81]float64
+	h0, h1, h2             [81]float64
+	t0, t1, t2, t3, t4, t5 [81]float64
+}
+
+// slabInfo is the immutable slab partition of a Problem's element range,
+// built once on first slab apply.
+type slabInfo struct {
+	S   int   // slab count (fixed, worker-count independent)
+	off []int // S+1 slab element offsets: slab s is [off[s], off[s+1])
+
+	// shared lists, in ascending node id, every node touched by more than
+	// one slab; sharedIdx maps node id → index into shared (-1: interior).
+	shared    []int32
+	sharedIdx []int32
+
+	// minSlab/maxSlab give, per shared-list index, the first and last slab
+	// touching that node. Every slab in between covers the node in its
+	// node span (spans are monotone in s for lexicographic element order),
+	// so merge reads need no per-slab membership test.
+	minSlab, maxSlab []int32
+
+	// bufLo/bufHi give, per slab, the half-open shared-list index range of
+	// the slab's node span: its overlap buffer stores 3 floats per shared
+	// node in [bufLo, bufHi).
+	bufLo, bufHi []int32
+}
+
+// slabBufs is one apply's set of per-slab overlap buffers, pooled so
+// concurrent applies on the same Problem never share accumulation state.
+type slabBufs struct {
+	bufs [][]float64
+}
+
+// slabs returns the Problem's slab partition, building it on first use.
+func (p *Problem) slabs() *slabInfo {
+	p.slabOnce.Do(func() {
+		nel := p.DA.NElements()
+		S := runtime.GOMAXPROCS(0)
+		if S < 8 {
+			S = 8
+		}
+		if S > nel {
+			S = nel
+		}
+		info := &slabInfo{S: S, off: make([]int, S+1)}
+		for s := 0; s <= S; s++ {
+			info.off[s] = s * nel / S
+		}
+
+		nn := p.DA.NNodes()
+		minS := make([]int32, nn)
+		maxS := make([]int32, nn)
+		for n := range minS {
+			minS[n] = -1
+		}
+		for s := 0; s < S; s++ {
+			em := p.Emap[27*info.off[s] : 27*info.off[s+1]]
+			for _, n := range em {
+				if minS[n] < 0 {
+					minS[n] = int32(s)
+				}
+				maxS[n] = int32(s)
+			}
+		}
+
+		info.sharedIdx = make([]int32, nn)
+		for n := 0; n < nn; n++ {
+			if minS[n] >= 0 && minS[n] != maxS[n] {
+				info.sharedIdx[n] = int32(len(info.shared))
+				info.shared = append(info.shared, int32(n))
+				info.minSlab = append(info.minSlab, minS[n])
+				info.maxSlab = append(info.maxSlab, maxS[n])
+			} else {
+				info.sharedIdx[n] = -1
+			}
+		}
+
+		info.bufLo = make([]int32, S)
+		info.bufHi = make([]int32, S)
+		for s := 0; s < S; s++ {
+			em := p.Emap[27*info.off[s] : 27*info.off[s+1]]
+			lo, hi := em[0], em[0]
+			for _, n := range em {
+				if n < lo {
+					lo = n
+				}
+				if n > hi {
+					hi = n
+				}
+			}
+			info.bufLo[s] = int32(sort.Search(len(info.shared), func(t int) bool {
+				return info.shared[t] >= lo
+			}))
+			info.bufHi[s] = int32(sort.Search(len(info.shared), func(t int) bool {
+				return info.shared[t] > hi
+			}))
+		}
+		p.slab = info
+	})
+	return p.slab
+}
+
+// getSlabBufs takes a zero-filled-on-demand buffer set from the pool.
+func (p *Problem) getSlabBufs(info *slabInfo) *slabBufs {
+	if b, ok := p.slabPool.Get().(*slabBufs); ok {
+		return b
+	}
+	b := &slabBufs{bufs: make([][]float64, info.S)}
+	for s := 0; s < info.S; s++ {
+		b.bufs[s] = make([]float64, 3*(info.bufHi[s]-info.bufLo[s]))
+	}
+	return b
+}
+
+// SlabStats reports the slab partition: slab count, shared (slab-boundary)
+// node count, and total node count. Exposed for tests, drivers and the
+// cost model; triggers the lazy partition build.
+func (p *Problem) SlabStats() (slabs, sharedNodes, totalNodes int) {
+	info := p.slabs()
+	return info.S, len(info.shared), p.DA.NNodes()
+}
+
+// slabApply runs kern over every element using the slab-partitioned
+// owner-computes schedule and accumulates the per-element outputs ye into
+// y, skipping constrained rows.
+//
+//   - u == nil: no state gather; kern receives a stale ue it must ignore.
+//   - masked: constrained entries of the gathered ue are zeroed
+//     (symmetric Dirichlet elimination); otherwise the raw state is
+//     gathered (residual evaluation on a boundary-valued state).
+//   - needX: gather nodal coordinates into xe.
+//   - accumulate: keep y's prior contents (coupling ApplyGAdd); otherwise
+//     y is zeroed first.
+//
+// kern must fully define ye (overwrite, not accumulate): scratch blocks
+// are reused across elements without re-zeroing. The kernScratch arena is
+// likewise reused across elements of a worker's chunk.
+func (p *Problem) slabApply(u la.Vec, masked, needX, accumulate bool, y la.Vec, kern func(e int, ue, xe, ye *[81]float64, ks *kernScratch)) {
+	info := p.slabs()
+	if !accumulate {
+		y.Zero()
+	}
+	bufs := p.getSlabBufs(info)
+	mask := p.BC.Mask
+
+	par.For(p.Workers, info.S, func(slo, shi int) {
+		var ue, xe, ye [slabBlock][81]float64
+		var ks kernScratch
+		for s := slo; s < shi; s++ {
+			buf := bufs.bufs[s]
+			for i := range buf {
+				buf[i] = 0
+			}
+			bufOff := 3 * int(info.bufLo[s])
+			e0, e1 := info.off[s], info.off[s+1]
+			for b := e0; b < e1; b += slabBlock {
+				bn := e1 - b
+				if bn > slabBlock {
+					bn = slabBlock
+				}
+				for i := 0; i < bn; i++ {
+					e := b + i
+					if u != nil {
+						if masked {
+							p.gatherVec(e, u, &ue[i])
+						} else {
+							em := p.Emap[27*e : 27*e+27]
+							for n := 0; n < 27; n++ {
+								d := 3 * int(em[n])
+								ue[i][3*n] = u[d]
+								ue[i][3*n+1] = u[d+1]
+								ue[i][3*n+2] = u[d+2]
+							}
+						}
+					}
+					if needX {
+						p.gatherCoords(e, &xe[i])
+					}
+				}
+				for i := 0; i < bn; i++ {
+					kern(b+i, &ue[i], &xe[i], &ye[i], &ks)
+				}
+				for i := 0; i < bn; i++ {
+					em := p.Emap[27*(b+i) : 27*(b+i)+27]
+					yei := &ye[i]
+					for n := 0; n < 27; n++ {
+						node := int(em[n])
+						if t := int(p.slab.sharedIdx[node]); t >= 0 {
+							o := 3*t - bufOff
+							buf[o] += yei[3*n]
+							buf[o+1] += yei[3*n+1]
+							buf[o+2] += yei[3*n+2]
+						} else {
+							d := 3 * node
+							if !mask[d] {
+								y[d] += yei[3*n]
+							}
+							if !mask[d+1] {
+								y[d+1] += yei[3*n+1]
+							}
+							if !mask[d+2] {
+								y[d+2] += yei[3*n+2]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+
+	// Merge pass: per shared node, sum the overlap buffers in ascending
+	// slab order. Intermediate slabs not touching the node read exact
+	// zeros (the node lies inside their span, so the read is in-bounds).
+	par.For(p.Workers, len(info.shared), func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			var a0, a1, a2 float64
+			for s := int(info.minSlab[t]); s <= int(info.maxSlab[t]); s++ {
+				o := 3 * (t - int(info.bufLo[s]))
+				b := bufs.bufs[s]
+				a0 += b[o]
+				a1 += b[o+1]
+				a2 += b[o+2]
+			}
+			d := 3 * int(info.shared[t])
+			if !mask[d] {
+				y[d] += a0
+			}
+			if !mask[d+1] {
+				y[d+1] += a1
+			}
+			if !mask[d+2] {
+				y[d+2] += a2
+			}
+		}
+	})
+
+	p.slabPool.Put(bufs)
+
+	if fp := femProbe.Load(); fp != nil {
+		fp.SlabApplies.Inc()
+		fp.Slabs.Set(float64(info.S))
+		fp.SharedFrac.Set(float64(len(info.shared)) / float64(p.DA.NNodes()))
+	}
+}
+
+// FemProbe carries the slab-schedule instruments recorded by slabApply.
+type FemProbe struct {
+	SlabApplies *telemetry.Counter // slab-scheduled operator applications
+	Slabs       *telemetry.Gauge   // slab count S of the partition
+	SharedFrac  *telemetry.Gauge   // slab-boundary fraction: shared nodes / total nodes
+}
+
+var femProbe atomic.Pointer[FemProbe]
+
+// SetTelemetry installs slab-schedule instrumentation under sc
+// ("slab_applies" counter, "slabs" and "shared_frac" gauges). The
+// boundary fraction shared_frac is the direct measure of how much of the
+// scatter traffic goes through overlap buffers rather than straight into
+// the output vector. Passing nil uninstalls the probe.
+func SetTelemetry(sc *telemetry.Scope) {
+	if sc == nil {
+		femProbe.Store(nil)
+		return
+	}
+	femProbe.Store(&FemProbe{
+		SlabApplies: sc.Counter("slab_applies"),
+		Slabs:       sc.Gauge("slabs"),
+		SharedFrac:  sc.Gauge("shared_frac"),
+	})
+}
+
+// slabState is embedded in Problem: the lazily built partition and the
+// pool of per-apply overlap buffer sets.
+type slabState struct {
+	slabOnce sync.Once
+	slab     *slabInfo
+	slabPool sync.Pool
+}

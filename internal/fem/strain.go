@@ -29,8 +29,9 @@ func StrainRateAtQP(p *Problem, u la.Vec, d6, eII []float64) {
 			ue[3*n+2] = u[d+2]
 		}
 		p.gatherCoords(e, &xe)
-		var ug0, ug1, ug2 [81]float64
-		tensorGrads(&ue, &ug0, &ug1, &ug2)
+		var ks kernScratch
+		ug0, ug1, ug2 := &ks.ug0, &ks.ug1, &ks.ug2
+		tensorGrads(&ue, ug0, ug1, ug2, &ks)
 		var jinv [9]float64
 		for q := 0; q < NQP; q++ {
 			jacobianAt(&xe, q, &jinv)

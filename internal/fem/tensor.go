@@ -11,58 +11,72 @@ package fem
 // Fields are stored as flat [81]float64 arrays holding 27 lattice points
 // × 3 interleaved components with the x point index fastest:
 // idx = ((k*3+j)*3+i)*3 + c.
+//
+// Each direction's contraction is specialized to its memory layout
+// instead of going through a shared stride/base-table kernel: the offsets
+// below are affine in small constant-bound loop variables, so the
+// compiler proves every access in range and the inner loops run without
+// bounds checks or index-table loads. The arithmetic (three products and
+// two adds per output, summed in t order) is identical to the generic
+// kernel, so results are bit-for-bit unchanged.
 
-// contract1 contracts one lattice dimension of in with the 3×3 matrix m:
-// out[.., q, ..][c] = Σ_t m[q][t] · in[.., t, ..][c], where the contracted
-// index has the given stride (3 for x, 9 for y, 27 for z, in float units)
-// and the remaining indices × components are enumerated by the caller.
-func contract1(m *[3][3]float64, in, out *[81]float64, stride int, bases *[27]int) {
-	for _, b := range bases {
-		i0 := in[b]
-		i1 := in[b+stride]
-		i2 := in[b+2*stride]
-		out[b] = m[0][0]*i0 + m[0][1]*i1 + m[0][2]*i2
-		out[b+stride] = m[1][0]*i0 + m[1][1]*i1 + m[1][2]*i2
-		out[b+2*stride] = m[2][0]*i0 + m[2][1]*i1 + m[2][2]*i2
+// cX contracts the x lattice direction (stride 3): for each of the nine
+// (k,j) lines the nine floats {i×c} are contiguous, so the kernel streams
+// aligned 9-blocks.
+func cX(m *[3][3]float64, in, out *[81]float64) {
+	m00, m01, m02 := m[0][0], m[0][1], m[0][2]
+	m10, m11, m12 := m[1][0], m[1][1], m[1][2]
+	m20, m21, m22 := m[2][0], m[2][1], m[2][2]
+	for g := 0; g < 9; g++ {
+		s := (*[9]float64)(in[9*g : 9*g+9])
+		d := (*[9]float64)(out[9*g : 9*g+9])
+		for c := 0; c < 3; c++ {
+			i0, i1, i2 := s[c], s[c+3], s[c+6]
+			d[c] = m00*i0 + m01*i1 + m02*i2
+			d[c+3] = m10*i0 + m11*i1 + m12*i2
+			d[c+6] = m20*i0 + m21*i1 + m22*i2
+		}
 	}
 }
 
-// basesX/Y/Z enumerate the 27 (line, component) base offsets for each
-// contraction direction.
-var basesX, basesY, basesZ [27]int
+// cY contracts the y lattice direction (stride 9): within each of the
+// three k planes (27 contiguous floats) the contracted triple sits at
+// offsets r, r+9, r+18.
+func cY(m *[3][3]float64, in, out *[81]float64) {
+	m00, m01, m02 := m[0][0], m[0][1], m[0][2]
+	m10, m11, m12 := m[1][0], m[1][1], m[1][2]
+	m20, m21, m22 := m[2][0], m[2][1], m[2][2]
+	for k := 0; k < 3; k++ {
+		s := (*[27]float64)(in[27*k : 27*k+27])
+		d := (*[27]float64)(out[27*k : 27*k+27])
+		for r := 0; r < 9; r++ {
+			i0, i1, i2 := s[r], s[r+9], s[r+18]
+			d[r] = m00*i0 + m01*i1 + m02*i2
+			d[r+9] = m10*i0 + m11*i1 + m12*i2
+			d[r+18] = m20*i0 + m21*i1 + m22*i2
+		}
+	}
+}
+
+// cZ contracts the z lattice direction (stride 27): the contracted triple
+// sits at offsets r, r+27, r+54 over the whole array.
+func cZ(m *[3][3]float64, in, out *[81]float64) {
+	m00, m01, m02 := m[0][0], m[0][1], m[0][2]
+	m10, m11, m12 := m[1][0], m[1][1], m[1][2]
+	m20, m21, m22 := m[2][0], m[2][1], m[2][2]
+	for r := 0; r < 27; r++ {
+		i0, i1, i2 := in[r], in[r+27], in[r+54]
+		out[r] = m00*i0 + m01*i1 + m02*i2
+		out[r+27] = m10*i0 + m11*i1 + m12*i2
+		out[r+54] = m20*i0 + m21*i1 + m22*i2
+	}
+}
 
 // B1T and D1T are the transposes of B1 and D1, used for the adjoint
 // (scatter) contractions.
 var B1T, D1T [3][3]float64
 
 func init() {
-	n := 0
-	for k := 0; k < 3; k++ {
-		for j := 0; j < 3; j++ {
-			for c := 0; c < 3; c++ {
-				basesX[n] = (k*3+j)*9 + c // i stride 3
-				n++
-			}
-		}
-	}
-	n = 0
-	for k := 0; k < 3; k++ {
-		for i := 0; i < 3; i++ {
-			for c := 0; c < 3; c++ {
-				basesY[n] = k*27 + i*3 + c // j stride 9
-				n++
-			}
-		}
-	}
-	n = 0
-	for j := 0; j < 3; j++ {
-		for i := 0; i < 3; i++ {
-			for c := 0; c < 3; c++ {
-				basesZ[n] = j*9 + i*3 + c // k stride 27
-				n++
-			}
-		}
-	}
 	for a := 0; a < 3; a++ {
 		for b := 0; b < 3; b++ {
 			B1T[a][b] = B1[b][a]
@@ -71,44 +85,44 @@ func init() {
 	}
 }
 
-func cX(m *[3][3]float64, in, out *[81]float64) { contract1(m, in, out, 3, &basesX) }
-func cY(m *[3][3]float64, in, out *[81]float64) { contract1(m, in, out, 9, &basesY) }
-func cZ(m *[3][3]float64, in, out *[81]float64) { contract1(m, in, out, 27, &basesZ) }
-
 // tensorGrads computes the three reference-direction gradients of the
 // 3-component nodal field f at the 27 quadrature points:
 // g_d[q*3+a] = ∂f_a/∂ξ_d(ξ_q). Eight 1-D contractions replace the dense
-// 81×27 matrix application.
-func tensorGrads(f, g0, g1, g2 *[81]float64) {
-	var tB, tD, tBB, tDB, tBD [81]float64
-	cX(&B1, f, &tB)
-	cX(&D1, f, &tD)
-	cY(&B1, &tB, &tBB)
-	cY(&B1, &tD, &tDB)
-	cY(&D1, &tB, &tBD)
-	cZ(&B1, &tDB, g0)
-	cZ(&B1, &tBD, g1)
-	cZ(&D1, &tBB, g2)
+// 81×27 matrix application. ks.t0–t4 are clobbered; f and the outputs
+// must not alias them.
+func tensorGrads(f, g0, g1, g2 *[81]float64, ks *kernScratch) {
+	tB, tD := &ks.t0, &ks.t1
+	tBB, tDB, tBD := &ks.t2, &ks.t3, &ks.t4
+	cX(&B1, f, tB)
+	cX(&D1, f, tD)
+	cY(&B1, tB, tBB)
+	cY(&B1, tD, tDB)
+	cY(&D1, tB, tBD)
+	cZ(&B1, tDB, g0)
+	cZ(&B1, tBD, g1)
+	cZ(&D1, tBB, g2)
 }
 
-// tensorScatterAdd accumulates the adjoint of tensorGrads into ye:
-// ye += Σ_d (D̂ξ_d)ᵀ h_d, where h_d are quadrature-point cotangent fields.
-func tensorScatterAdd(h0, h1, h2, ye *[81]float64) {
-	var s0, s1, s2, t0, t12, tmp [81]float64
-	cZ(&B1T, h0, &s0)
-	cZ(&B1T, h1, &s1)
-	cZ(&D1T, h2, &s2)
-	cY(&B1T, &s0, &t0)
-	cY(&D1T, &s1, &t12)
-	cY(&B1T, &s2, &tmp)
+// tensorScatterWrite computes the adjoint of tensorGrads, overwriting ye:
+// ye = Σ_d (D̂ξ_d)ᵀ h_d, where h_d are quadrature-point cotangent fields.
+// The element kernels' ye scratch is reused across elements, so the full
+// overwrite removes the per-element zero-init the old accumulate-only
+// variant required. ks.t0–t5 are clobbered; the h inputs must not alias
+// them (they normally live in ks.h0–h2).
+func tensorScatterWrite(h0, h1, h2, ye *[81]float64, ks *kernScratch) {
+	s0, s1, s2 := &ks.t0, &ks.t1, &ks.t2
+	t0, t12, tmp := &ks.t3, &ks.t4, &ks.t5
+	cZ(&B1T, h0, s0)
+	cZ(&B1T, h1, s1)
+	cZ(&D1T, h2, s2)
+	cY(&B1T, s0, t0)
+	cY(&D1T, s1, t12)
+	cY(&B1T, s2, tmp)
 	for i := range t12 {
 		t12[i] += tmp[i]
 	}
-	cX(&D1T, &t0, &tmp)
-	for i := range tmp {
-		ye[i] += tmp[i]
-	}
-	cX(&B1T, &t12, &tmp)
+	cX(&D1T, t0, ye)
+	cX(&B1T, t12, tmp)
 	for i := range tmp {
 		ye[i] += tmp[i]
 	}

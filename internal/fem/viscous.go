@@ -31,27 +31,44 @@ type ResidualOperator interface {
 // the inverse Jacobian jinv[d][m]=∂ξ_d/∂x_m and the scaled coefficient
 // s = η·w·detJ, it returns h[a][d] = Σ_m jinv[d][m]·S[a][m] with
 // S = s·(∇u + ∇uᵀ) the weighted deviatoric stress 2η·D(u)·w·detJ.
+// The loops are fully unrolled (identical arithmetic order, so results
+// are bit-for-bit unchanged): this runs 27 times per element on the
+// hottest apply path, and the unrolled form keeps everything in
+// registers with no bounds checks.
 func qpCommon(g *[9]float64, jinv *[9]float64, s float64, h *[9]float64) {
+	j00, j01, j02 := jinv[0], jinv[1], jinv[2]
+	j10, j11, j12 := jinv[3], jinv[4], jinv[5]
+	j20, j21, j22 := jinv[6], jinv[7], jinv[8]
 	// Physical gradient Gp[a][m] = Σ_d g[a*3+d]·jinv[d*3+m].
-	var gp [9]float64
-	for a := 0; a < 3; a++ {
-		for m := 0; m < 3; m++ {
-			gp[a*3+m] = g[a*3]*jinv[m] + g[a*3+1]*jinv[3+m] + g[a*3+2]*jinv[6+m]
-		}
-	}
-	// S[a][m] = s·(Gp[a][m]+Gp[m][a]).
-	var sm [9]float64
-	for a := 0; a < 3; a++ {
-		for m := 0; m < 3; m++ {
-			sm[a*3+m] = s * (gp[a*3+m] + gp[m*3+a])
-		}
-	}
+	gp00 := g[0]*j00 + g[1]*j10 + g[2]*j20
+	gp01 := g[0]*j01 + g[1]*j11 + g[2]*j21
+	gp02 := g[0]*j02 + g[1]*j12 + g[2]*j22
+	gp10 := g[3]*j00 + g[4]*j10 + g[5]*j20
+	gp11 := g[3]*j01 + g[4]*j11 + g[5]*j21
+	gp12 := g[3]*j02 + g[4]*j12 + g[5]*j22
+	gp20 := g[6]*j00 + g[7]*j10 + g[8]*j20
+	gp21 := g[6]*j01 + g[7]*j11 + g[8]*j21
+	gp22 := g[6]*j02 + g[7]*j12 + g[8]*j22
+	// S[a][m] = s·(Gp[a][m]+Gp[m][a]), the weighted deviatoric stress.
+	sm00 := s * (gp00 + gp00)
+	sm01 := s * (gp01 + gp10)
+	sm02 := s * (gp02 + gp20)
+	sm10 := s * (gp10 + gp01)
+	sm11 := s * (gp11 + gp11)
+	sm12 := s * (gp12 + gp21)
+	sm20 := s * (gp20 + gp02)
+	sm21 := s * (gp21 + gp12)
+	sm22 := s * (gp22 + gp22)
 	// h[a][d] = Σ_m jinv[d*3+m]·S[a][m].
-	for a := 0; a < 3; a++ {
-		for d := 0; d < 3; d++ {
-			h[a*3+d] = jinv[d*3]*sm[a*3] + jinv[d*3+1]*sm[a*3+1] + jinv[d*3+2]*sm[a*3+2]
-		}
-	}
+	h[0] = j00*sm00 + j01*sm01 + j02*sm02
+	h[1] = j10*sm00 + j11*sm01 + j12*sm02
+	h[2] = j20*sm00 + j21*sm01 + j22*sm02
+	h[3] = j00*sm10 + j01*sm11 + j02*sm12
+	h[4] = j10*sm10 + j11*sm11 + j12*sm12
+	h[5] = j20*sm10 + j21*sm11 + j22*sm12
+	h[6] = j00*sm20 + j01*sm21 + j02*sm22
+	h[7] = j10*sm20 + j11*sm21 + j12*sm22
+	h[8] = j20*sm20 + j21*sm21 + j22*sm22
 }
 
 // applyIdentityRows finishes an operator application: constrained rows of
@@ -91,32 +108,18 @@ func (op *MFOp) ApplyFreeRows(u, y la.Vec) { op.apply(u, y, false) }
 
 func (op *MFOp) apply(u, y la.Vec, masked bool) {
 	p := op.P
-	y.Zero()
-	p.forEachElementColored(func(e int) {
-		var ue, xe, ye [81]float64
-		if masked {
-			p.gatherVec(e, u, &ue)
-		} else {
-			em := p.Emap[27*e : 27*e+27]
-			for n := 0; n < 27; n++ {
-				d := 3 * int(em[n])
-				ue[3*n] = u[d]
-				ue[3*n+1] = u[d+1]
-				ue[3*n+2] = u[d+2]
-			}
-		}
-		p.gatherCoords(e, &xe)
-		eta := p.Eta[NQP*e : NQP*e+NQP]
-		mfElementApply(&ue, &xe, eta, &ye)
-		p.scatterAdd(e, &ye, y)
+	p.slabApply(u, masked, true, false, y, func(e int, ue, xe, ye *[81]float64, _ *kernScratch) {
+		mfElementApply(ue, xe, p.Eta[NQP*e:NQP*e+NQP], ye)
 	})
 	if masked {
 		applyIdentityRows(p, u, y)
 	}
 }
 
-// mfElementApply is the non-tensor matrix-free element kernel.
+// mfElementApply is the non-tensor matrix-free element kernel. It fully
+// defines ye (slab scratch is reused across elements un-zeroed).
 func mfElementApply(ue, xe *[81]float64, eta []float64, ye *[81]float64) {
+	*ye = [81]float64{}
 	var jinv [9]float64
 	for q := 0; q < NQP; q++ {
 		detJ := jacobianAt(xe, q, &jinv)
@@ -182,39 +185,45 @@ func (op *TensorOp) ApplyFreeRows(u, y la.Vec) { op.apply(u, y, false) }
 
 func (op *TensorOp) apply(u, y la.Vec, masked bool) {
 	p := op.P
-	y.Zero()
-	p.forEachElementColored(func(e int) {
-		var ue, xe, ye [81]float64
-		if masked {
-			p.gatherVec(e, u, &ue)
-		} else {
-			em := p.Emap[27*e : 27*e+27]
-			for n := 0; n < 27; n++ {
-				d := 3 * int(em[n])
-				ue[3*n] = u[d]
-				ue[3*n+1] = u[d+1]
-				ue[3*n+2] = u[d+2]
-			}
-		}
-		p.gatherCoords(e, &xe)
-		eta := p.Eta[NQP*e : NQP*e+NQP]
-		tensorElementApply(&ue, &xe, eta, &ye)
-		p.scatterAdd(e, &ye, y)
+	p.slabApply(u, masked, true, false, y, func(e int, ue, xe, ye *[81]float64, ks *kernScratch) {
+		tensorElementApply(ue, xe, p.Eta[NQP*e:NQP*e+NQP], ye, ks)
 	})
 	if masked {
 		applyIdentityRows(p, u, y)
 	}
 }
 
+// ApplyColored computes y = J_uu·u using the legacy 8-color element
+// schedule. Kept as the reference implementation for scatter-equivalence
+// tests and the colored-vs-slab benchmark: slab and colored applies sum
+// element contributions in different orders, so they agree only to
+// rounding (~1e-15 relative), while the slab path alone is bit-stable
+// across worker counts.
+func (op *TensorOp) ApplyColored(u, y la.Vec) {
+	p := op.P
+	y.Zero()
+	p.forEachElementColored(func(e int) {
+		var ue, xe, ye [81]float64
+		var ks kernScratch
+		p.gatherVec(e, u, &ue)
+		p.gatherCoords(e, &xe)
+		eta := p.Eta[NQP*e : NQP*e+NQP]
+		tensorElementApply(&ue, &xe, eta, &ye, &ks)
+		p.scatterAdd(e, &ye, y)
+	})
+	applyIdentityRows(p, u, y)
+}
+
 // tensorElementApply is the tensor-product element kernel (Eq. 19 of the
 // paper): gradients of state and coordinates by 1-D contractions, the
 // metric terms folded into the quadrature loop, and the adjoint
 // contractions scattering the result.
-func tensorElementApply(ue, xe *[81]float64, eta []float64, ye *[81]float64) {
-	var ug0, ug1, ug2, xg0, xg1, xg2 [81]float64
-	tensorGrads(ue, &ug0, &ug1, &ug2)
-	tensorGrads(xe, &xg0, &xg1, &xg2)
-	var h0, h1, h2 [81]float64
+func tensorElementApply(ue, xe *[81]float64, eta []float64, ye *[81]float64, ks *kernScratch) {
+	ug0, ug1, ug2 := &ks.ug0, &ks.ug1, &ks.ug2
+	xg0, xg1, xg2 := &ks.xg0, &ks.xg1, &ks.xg2
+	tensorGrads(ue, ug0, ug1, ug2, ks)
+	tensorGrads(xe, xg0, xg1, xg2, ks)
+	h0, h1, h2 := &ks.h0, &ks.h1, &ks.h2
 	var jmat, jinv, inv, g, h [9]float64
 	for q := 0; q < NQP; q++ {
 		// jmat[d][m] = ∂x_m/∂ξ_d from the coordinate gradients.
@@ -241,7 +250,7 @@ func tensorElementApply(ue, xe *[81]float64, eta []float64, ye *[81]float64) {
 			h2[q*3+a] = h[a*3+2]
 		}
 	}
-	tensorScatterAdd(&h0, &h1, &h2, ye)
+	tensorScatterWrite(h0, h1, h2, ye, ks)
 }
 
 // ---------------------------------------------------------------------------
@@ -309,16 +318,14 @@ func (op *TensorCOp) N() int { return op.P.DA.NVelDOF() }
 // Apply computes y = J_uu·u with symmetric Dirichlet elimination.
 func (op *TensorCOp) Apply(u, y la.Vec) {
 	p := op.P
-	y.Zero()
-	p.forEachElementColored(func(e int) {
-		var ue, ye [81]float64
-		p.gatherVec(e, u, &ue)
-		var ug0, ug1, ug2, h0, h1, h2 [81]float64
-		tensorGrads(&ue, &ug0, &ug1, &ug2)
+	p.slabApply(u, true, false, false, y, func(e int, ue, _, ye *[81]float64, ks *kernScratch) {
+		ug0, ug1, ug2 := &ks.ug0, &ks.ug1, &ks.ug2
+		h0, h1, h2 := &ks.h0, &ks.h1, &ks.h2
+		tensorGrads(ue, ug0, ug1, ug2, ks)
 		for q := 0; q < NQP; q++ {
 			c := op.coef[15*(NQP*e+q) : 15*(NQP*e+q)+15]
 			sm00, sm01, sm02, sm11, sm12, sm22 := c[0], c[1], c[2], c[3], c[4], c[5]
-			ks := c[6:15]
+			kk := c[6:15]
 			var g [9]float64 // g[a][d]
 			for a := 0; a < 3; a++ {
 				g[a*3] = ug0[q*3+a]
@@ -335,10 +342,10 @@ func (op *TensorCOp) Apply(u, y la.Vec) {
 				h[a*3+2] = sm02*ga0 + sm12*ga1 + sm22*ga2
 				var tt [3]float64
 				for m := 0; m < 3; m++ {
-					tt[m] = g[m*3]*ks[a] + g[m*3+1]*ks[3+a] + g[m*3+2]*ks[6+a]
+					tt[m] = g[m*3]*kk[a] + g[m*3+1]*kk[3+a] + g[m*3+2]*kk[6+a]
 				}
 				for d := 0; d < 3; d++ {
-					h[a*3+d] += ks[d*3]*tt[0] + ks[d*3+1]*tt[1] + ks[d*3+2]*tt[2]
+					h[a*3+d] += kk[d*3]*tt[0] + kk[d*3+1]*tt[1] + kk[d*3+2]*tt[2]
 				}
 			}
 			for a := 0; a < 3; a++ {
@@ -347,8 +354,7 @@ func (op *TensorCOp) Apply(u, y la.Vec) {
 				h2[q*3+a] = h[a*3+2]
 			}
 		}
-		tensorScatterAdd(&h0, &h1, &h2, &ye)
-		p.scatterAdd(e, &ye, y)
+		tensorScatterWrite(h0, h1, h2, ye, ks)
 	})
 	applyIdentityRows(p, u, y)
 }
@@ -362,12 +368,13 @@ func (op *TensorCOp) Apply(u, y la.Vec) {
 // applies the identity after the halo reduction.
 func (op *TensorOp) ApplyElements(elems []int, u, y la.Vec) {
 	p := op.P
+	var ks kernScratch
 	for _, e := range elems {
 		var ue, xe, ye [81]float64
 		p.gatherVec(e, u, &ue)
 		p.gatherCoords(e, &xe)
 		eta := p.Eta[NQP*e : NQP*e+NQP]
-		tensorElementApply(&ue, &xe, eta, &ye)
+		tensorElementApply(&ue, &xe, eta, &ye, &ks)
 		p.scatterAdd(e, &ye, y)
 	}
 }

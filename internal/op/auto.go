@@ -188,9 +188,9 @@ func (o *AutoOp) Setup() error {
 		var c Cost
 		switch k {
 		case Tensor:
-			c = mfCost("Tensor", nel)
+			c = mfCost("Tensor", o.env.Prob)
 		case MFRef:
-			c = mfCost("Matrix-free", nel)
+			c = mfCost("Matrix-free", o.env.Prob)
 		case Assembled:
 			c = asmCost(nel, nil)
 		}

@@ -28,13 +28,16 @@ func reproCounts(name string) perfmodel.OpCounts {
 	return perfmodel.OpCounts{Name: name}
 }
 
-// mfCost scales per-element apply counts to the whole mesh; matrix-free
-// kernels have no setup work and no assembled storage.
-func mfCost(name string, nel int) Cost {
+// mfCost scales per-element apply counts to the whole mesh and adds the
+// slab-scatter boundary merge traffic (overlap buffers for slab-shared
+// nodes); matrix-free kernels have no setup work and no assembled storage.
+func mfCost(name string, p *fem.Problem) Cost {
 	c := reproCounts(name)
+	nel := p.DA.NElements()
+	_, shared, _ := p.SlabStats()
 	return Cost{
 		ApplyFlops: c.Flops * float64(nel),
-		ApplyBytes: c.BytesPessimal * float64(nel),
+		ApplyBytes: c.BytesPessimal*float64(nel) + perfmodel.SlabMergeBytes(shared),
 	}
 }
 
@@ -126,7 +129,7 @@ func (o *tensorOp) Apply(x, y la.Vec)         { o.k.Apply(x, y) }
 func (o *tensorOp) ApplyFreeRows(u, y la.Vec) { o.k.ApplyFreeRows(u, y) }
 func (o *tensorOp) Setup() error              { return nil }
 func (o *tensorOp) Diag(d la.Vec)             { fem.Diagonal(o.p, d) }
-func (o *tensorOp) Cost() Cost                { return mfCost("Tensor", o.p.DA.NElements()) }
+func (o *tensorOp) Cost() Cost                { return mfCost("Tensor", o.p) }
 func (o *tensorOp) Kind() Kind                { return Tensor }
 func (o *tensorOp) CSR() *la.CSR              { return nil }
 
@@ -145,7 +148,7 @@ func (o *mfrefOp) Apply(x, y la.Vec)         { o.k.Apply(x, y) }
 func (o *mfrefOp) ApplyFreeRows(u, y la.Vec) { o.k.ApplyFreeRows(u, y) }
 func (o *mfrefOp) Setup() error              { return nil }
 func (o *mfrefOp) Diag(d la.Vec)             { fem.Diagonal(o.p, d) }
-func (o *mfrefOp) Cost() Cost                { return mfCost("Matrix-free", o.p.DA.NElements()) }
+func (o *mfrefOp) Cost() Cost                { return mfCost("Matrix-free", o.p) }
 func (o *mfrefOp) Kind() Kind                { return MFRef }
 func (o *mfrefOp) CSR() *la.CSR              { return nil }
 

@@ -1,12 +1,13 @@
 // Package par provides the shared-memory worker-pool primitives used by
 // the element-parallel operator kernels and row-parallel SpMV. It is the
 // intra-node half of the paper's parallel substrate: the original pTatin3D
-// relies on MPI ranks per core; here "cores" are worker goroutines sharing
-// one address space (see DESIGN.md, substitution table).
+// relies on MPI ranks per core; here "cores" are long-lived worker
+// goroutines sharing one address space (see DESIGN.md, substitution
+// table). All dispatch goes through one persistent pool (pool.go) — no
+// goroutines are spawned per call.
 package par
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -25,41 +26,70 @@ type Probe struct {
 	Busy    *telemetry.Timer   // per-chunk busy time (summed over workers)
 	Wall    *telemetry.Timer   // caller wall time of parallel regions
 	Workers *telemetry.Counter // workers requested (occupancy denominator)
+
+	// Pool-occupancy instruments: how chunk execution splits between the
+	// persistent pool workers and the calling goroutine (which always
+	// participates in its own job), and the pool size itself. The pooled
+	// fraction ChunksPooled/(ChunksPooled+ChunksInline) is the direct
+	// measure of how much help the pool provided.
+	PoolWorkers  *telemetry.Gauge   // persistent pool size (GOMAXPROCS at start)
+	ChunksPooled *telemetry.Counter // chunks executed by pool workers
+	ChunksInline *telemetry.Counter // chunks executed by the calling goroutine
 }
 
 var probe atomic.Pointer[Probe]
 
 // SetTelemetry installs worker-occupancy instrumentation under sc
 // ("calls", "chunks", "items", "workers" counters and "busy"/"wall"
-// timers). Occupancy is Busy.Elapsed / Wall.Elapsed ÷ (Workers/Calls):
-// the fraction of requested worker-seconds actually spent in body
-// closures. Passing a nil scope uninstalls the probe. Safe to call
-// concurrently with running For loops.
+// timers, plus the pool instruments "pool_workers", "chunks_pooled",
+// "chunks_inline"). Occupancy is Busy.Elapsed / Wall.Elapsed ÷
+// (Workers/Calls): the fraction of requested worker-seconds actually
+// spent in body closures. Passing a nil scope uninstalls the probe. Safe
+// to call concurrently with running For loops.
 func SetTelemetry(sc *telemetry.Scope) {
 	if sc == nil {
 		probe.Store(nil)
 		return
 	}
 	probe.Store(&Probe{
-		Calls:   sc.Counter("calls"),
-		Serial:  sc.Counter("serial_calls"),
-		Chunks:  sc.Counter("chunks"),
-		Items:   sc.Counter("items"),
-		Busy:    sc.Timer("busy"),
-		Wall:    sc.Timer("wall"),
-		Workers: sc.Counter("workers"),
+		Calls:        sc.Counter("calls"),
+		Serial:       sc.Counter("serial_calls"),
+		Chunks:       sc.Counter("chunks"),
+		Items:        sc.Counter("items"),
+		Busy:         sc.Timer("busy"),
+		Wall:         sc.Timer("wall"),
+		Workers:      sc.Counter("workers"),
+		PoolWorkers:  sc.Gauge("pool_workers"),
+		ChunksPooled: sc.Counter("chunks_pooled"),
+		ChunksInline: sc.Counter("chunks_inline"),
 	})
 }
 
 // For partitions the half-open range [0,n) into contiguous chunks and runs
-// body(lo,hi) on nworkers goroutines. It blocks until all chunks finish.
-// With nworkers <= 1 the body is invoked once on the caller's goroutine,
-// so sequential runs have zero scheduling overhead.
+// body(lo,hi) on the persistent worker pool, the caller included. It
+// blocks until all chunks finish. With nworkers <= 1 the body is invoked
+// once on the caller's goroutine, so sequential runs have zero scheduling
+// overhead.
 //
 // The partition is balanced: chunk w is [w·n/nw, (w+1)·n/nw), so with
 // nw = min(nworkers, n) every chunk is non-empty and chunk sizes differ by
 // at most one — no idle trailing workers for any (nworkers, n) pair.
+//
+// For may be called concurrently from any number of goroutines, and from
+// inside a body already running on the pool (nested dispatch): the caller
+// always executes chunks of its own job, so a busy pool costs parallelism,
+// never progress. A panic in a body is re-raised on the caller's
+// goroutine after the remaining chunks complete.
 func For(nworkers, n int, body func(lo, hi int)) {
+	ForChunk(nworkers, n, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ForChunk is For with the chunk index exposed: body(c, lo, hi) where c
+// is the deterministic chunk number in [0, min(nworkers,n)). The chunk →
+// range mapping depends only on (nworkers, n) — never on which pool
+// worker executes the chunk — so per-chunk scratch indexed by c is
+// race-free and schedules built on c are reproducible.
+func ForChunk(nworkers, n int, body func(c, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -68,7 +98,7 @@ func For(nworkers, n int, body func(lo, hi int)) {
 			p.Serial.Inc()
 			p.Items.Add(int64(n))
 		}
-		body(0, n)
+		body(0, 0, n)
 		return
 	}
 	if nworkers > n {
@@ -83,30 +113,17 @@ func For(nworkers, n int, body func(lo, hi int)) {
 		p.Workers.Add(int64(nworkers))
 		wallStart = p.Wall.Start()
 	}
-	var wg sync.WaitGroup
-	wg.Add(nworkers)
-	for w := 0; w < nworkers; w++ {
-		lo := w * n / nworkers
-		hi := (w + 1) * n / nworkers
-		go func(lo, hi int) {
-			defer wg.Done()
-			if p != nil {
-				st := p.Busy.Start()
-				body(lo, hi)
-				p.Busy.Stop(st)
-				return
-			}
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	dispatch(nworkers, n, body)
 	if p != nil {
+		p.PoolWorkers.Set(float64(poolSize))
 		p.Wall.Stop(wallStart)
 	}
 }
 
 // ForItems runs body(i) for every i in [0,n) distributed over nworkers
-// goroutines in contiguous chunks. Convenience wrapper over For.
+// pool workers in contiguous chunks. Convenience wrapper over For; hot
+// loops with trivial per-item bodies should use For(lo,hi) directly to
+// avoid the per-item indirect call.
 func ForItems(nworkers, n int, body func(i int)) {
 	For(nworkers, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -129,6 +131,159 @@ func TestForSequentialFastPath(t *testing.T) {
 	})
 	if calls != 1 {
 		t.Fatalf("sequential path invoked %d times", calls)
+	}
+}
+
+// TestConcurrentFor hammers the pool with many simultaneous For callers
+// (run under -race in check.sh): every caller must see its own range
+// covered exactly once regardless of how the pool interleaves jobs.
+func TestConcurrentFor(t *testing.T) {
+	const callers = 16
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 100 + 37*g
+			hits := make([]int32, n)
+			For(4, n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Errorf("caller %d: index %d visited %d times", g, i, h)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestNestedDispatch: a body running on the pool calls For again. The
+// caller-participates design means this must complete even when every
+// pool worker is occupied by the outer job.
+func TestNestedDispatch(t *testing.T) {
+	const outer, inner = 8, 50
+	var sum int64
+	For(4, outer, func(olo, ohi int) {
+		for o := olo; o < ohi; o++ {
+			For(4, inner, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt64(&sum, 1)
+				}
+			})
+		}
+	})
+	if sum != outer*inner {
+		t.Fatalf("nested sum = %d, want %d", sum, outer*inner)
+	}
+}
+
+// TestWorkerCountChanges: the same pool must serve calls with varying
+// nworkers back to back — the chunking adapts per call, the pool does not.
+func TestWorkerCountChanges(t *testing.T) {
+	for _, nw := range []int{1, 8, 2, 16, 1, 4, 3, 100, 2} {
+		n := 256
+		hits := make([]int32, n)
+		For(nw, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("nw=%d: index %d visited %d times", nw, i, h)
+			}
+		}
+	}
+}
+
+// TestPanicPropagation: a panic in a body must surface on the calling
+// goroutine with its original value, after the remaining chunks drain
+// (no wedged WaitGroup), and the pool must stay usable afterwards.
+func TestPanicPropagation(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("round %d: panic did not propagate", round)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("round %d: recovered %v, want \"boom\"", round, r)
+				}
+			}()
+			For(4, 100, func(lo, hi int) {
+				if lo == 0 {
+					panic("boom")
+				}
+			})
+		}()
+		// Pool still serves jobs after the panic drained.
+		var sum int64
+		For(4, 10, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt64(&sum, int64(i))
+			}
+		})
+		if sum != 45 {
+			t.Fatalf("round %d: pool broken after panic (sum=%d)", round, sum)
+		}
+	}
+}
+
+// TestNestedPanicPropagation: a panic thrown inside an inner nested For
+// must unwind through both dispatch levels to the outermost caller.
+func TestNestedPanicPropagation(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("nested panic did not propagate")
+		} else if s, ok := r.(string); !ok || s != "inner" {
+			t.Fatalf("recovered %v, want \"inner\"", r)
+		}
+	}()
+	For(4, 8, func(olo, ohi int) {
+		For(4, 8, func(lo, hi int) {
+			if lo == 0 {
+				panic("inner")
+			}
+		})
+	})
+}
+
+// TestConcurrentNestedMixed combines all the stress axes: concurrent
+// callers, nested dispatch, and per-caller worker counts, under -race.
+func TestConcurrentNestedMixed(t *testing.T) {
+	if testing.Short() && testing.Verbose() {
+		t.Log("running in short mode (still cheap)")
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			nw := 1 + g%5
+			var sum int64
+			For(nw, 20, func(olo, ohi int) {
+				for o := olo; o < ohi; o++ {
+					For(3, 30, func(lo, hi int) {
+						atomic.AddInt64(&sum, int64(hi-lo))
+					})
+				}
+			})
+			if sum != 600 {
+				errs <- fmt.Errorf("caller %d (nw=%d): sum=%d, want 600", g, nw, sum)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -59,6 +59,9 @@ func PaperTableI() []OpCounts {
 //     scatter 486) ≈ 52k flops; data = coordinates/state/residual
 //     (81×8 B each) + η (27×8) + E_e (27×4, int32).
 //   - Tensor: 24 1-D contractions × 405 flops + quadrature loop ≈ 14k.
+//     (The slab-scheduled scatter adds boundary-node merge traffic on top
+//     of these per-element counts — see SlabMergeBytes — but leaves the
+//     per-element flop/byte counts themselves unchanged.)
 //   - TensorC: 16 contractions + 27×~105-flop quadrature loop ≈ 9.5k
 //     flops, plus 15 stored floats per quadrature point streamed in
 //     (3240 B/element) — fewer flops than Tensor, more bytes, exactly the
@@ -81,6 +84,19 @@ func ReproCounts() []OpCounts {
 		{Name: "Tensor", Flops: 14200, BytesPerfect: mfPerfect, BytesPessimal: mfPessimal},
 		{Name: "TensorC", Flops: 9500, BytesPerfect: tcPerfect, BytesPessimal: tcPessimal},
 	}
+}
+
+// SlabMergeBytes estimates the extra memory traffic of the slab-partitioned
+// owner-computes scatter (internal/fem slab schedule) per operator
+// application: every slab-boundary ("shared") node carries 3 components ×
+// 8 B through roughly six passes — zeroing the overlap buffer, the
+// accumulate read+write during element scatter, the merge-pass read, and
+// the output read+write. Interior nodes cost nothing beyond the per-element
+// counts in ReproCounts. The boundary fraction is O(S/nel^(1/3)), so this
+// term matters only on small (coarse-level) grids — exactly where the
+// auto-selector weighs matrix-free against assembled applies.
+func SlabMergeBytes(sharedNodes int) float64 {
+	return float64(sharedNodes) * 3 * 8 * 6
 }
 
 // Machine is a two-parameter roofline: sustainable memory bandwidth and

@@ -1,21 +1,21 @@
 #!/usr/bin/env bash
 # Machine-readable operator benchmark: times every unified-operator
-# backend (internal/op) at each level size and writes BENCH_PR3.json —
+# backend (internal/op) at each level size and writes BENCH_PR4.json —
 # MDoF/s, best-of apply time and setup time per backend per size, plus
 # the calibrated machine balance the auto-selector seeds from.
 #
 # Usage: scripts/bench.sh [outfile] [grids] [workers] [reps]
-#   outfile  destination JSON (default BENCH_PR3.json in the repo root)
+#   outfile  destination JSON (default BENCH_PR4.json in the repo root)
 #   grids    comma-separated level sizes (default 4,8,12)
-#   workers  worker goroutines (default 2)
+#   workers  worker goroutines (default 0 = runtime.NumCPU())
 #   reps     best-of timing repetitions (default 5)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 grids="${2:-4,8,12}"
-workers="${3:-2}"
+workers="${3:-0}"
 reps="${4:-5}"
 
 go run ./cmd/ptatin-opcost -json -grids "$grids" -workers "$workers" -reps "$reps" > "$out"

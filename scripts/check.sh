@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate for the repository (see README.md): formatting, vet, build,
 # the full test suite, a short-mode pass under the race detector, a racy
-# re-run of the comm fault/recovery protocol tests, and short fuzz smoke
-# passes over the decomposition index math and the checkpoint decoder.
+# re-run of the comm fault/recovery protocol tests, a one-iteration smoke
+# run of the apply-path benchmarks, and short fuzz smoke passes over the
+# decomposition index math and the checkpoint decoder.
 # Every PR must leave this script exiting 0.
 #
 # Usage: scripts/check.sh  (from the repository root or any subdirectory)
@@ -35,6 +36,9 @@ go test -short -race ./...
 
 echo "== fault/recovery protocol under -race =="
 go test -race -run 'Fault|Reliable|Migrate|Recv' ./internal/comm ./internal/mpm
+
+echo "== benchmark smoke =="
+go test -run='^$' -bench=Apply -benchtime=1x ./...
 
 echo "== fuzz smoke =="
 go test ./internal/comm -run='^$' -fuzz=FuzzDecompIndexMath -fuzztime=5s
