@@ -13,9 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"runtime"
 	"time"
 
+	"ptatin3d/internal/cli"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/model"
@@ -33,9 +33,7 @@ func main() {
 	deta := flag.Float64("deta", 100, "viscosity contrast")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = runtime.NumCPU())")
 	flag.Parse()
-	if *workers <= 0 {
-		*workers = runtime.NumCPU()
-	}
+	*workers = cli.Workers(*workers)
 
 	configs := []config{
 		{"GMG-i", func(c *stokes.Config) {

@@ -29,11 +29,9 @@ import (
 	"log"
 	"math"
 	"os"
-	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
+	"ptatin3d/internal/cli"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mesh"
@@ -55,9 +53,7 @@ func main() {
 	opFlag := flag.String("op", "", "restrict -json to one backend (mf|mfref|asm|galerkin)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
-	if *workers <= 0 {
-		*workers = runtime.NumCPU()
-	}
+	*workers = cli.Workers(*workers)
 
 	if *jsonFlag {
 		runJSONBench(*grids, *opFlag, *workers, *reps)
@@ -266,11 +262,11 @@ func runJSONBench(grids, only string, workers, reps int) {
 		restrict, restricted = k, true
 	}
 	var records []benchRecord
-	for _, f := range strings.Split(grids, ",") {
-		m, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			log.Fatalf("bad grid list %q: %v", grids, err)
-		}
+	gridList, err := cli.ParseInts(grids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range gridList {
 		p := benchProblem(m, workers)
 		kinds := []op.Kind{op.Tensor, op.MFRef, op.Assembled}
 		if 2*m <= 16 {

@@ -22,8 +22,8 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 
+	"ptatin3d/internal/cli"
 	"ptatin3d/internal/model"
 	"ptatin3d/internal/op"
 )
@@ -43,9 +43,7 @@ func main() {
 	ckptPath := flag.String("checkpoint", "rift.chkpt", "checkpoint file path")
 	restartFrom := flag.String("restart-from", "", "restore model state from this checkpoint before stepping")
 	flag.Parse()
-	if *workers <= 0 {
-		*workers = runtime.NumCPU()
-	}
+	*workers = cli.Workers(*workers)
 
 	o := model.DefaultRiftOptions()
 	o.Mx, o.My, o.Mz = *mx, *my, *mz

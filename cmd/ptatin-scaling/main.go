@@ -12,15 +12,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"runtime"
-	"strconv"
-	"strings"
+	"os"
 	"time"
 
-	"os"
+	"ptatin3d/internal/cli"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/op"
@@ -35,23 +34,13 @@ import (
 // telReg is the run-wide telemetry registry, nil unless -telemetry is set.
 var telReg *telemetry.Registry
 
-func parseInts(s string) []int {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			log.Fatalf("bad int list %q: %v", s, err)
-		}
-		out = append(out, v)
-	}
-	return out
-}
-
 func main() {
 	grids := flag.String("grids", "8,12,16", "comma-separated grid sizes (elements/direction)")
 	cores := flag.String("cores", "1,2,4", "comma-separated worker counts (0 entries = runtime.NumCPU())")
 	deta := flag.Float64("deta", 100, "viscosity contrast")
 	opFlag := flag.String("op", "", "restrict the sweep to one fine-level representation (auto|mf|mfref|asm|galerkin); default sweeps asm, mfref and mf")
+	ranks := flag.String("ranks", "", "run the rank-distributed solve over a PxxPyxPz rank grid (e.g. 2x2x1) instead of the shared-memory sweep")
+	jsonFlag := flag.Bool("json", false, "with -ranks: emit the machine-readable scaling benchmark (BENCH_PR5 schema) and exit")
 	telFlag := flag.Bool("telemetry", false, "emit the per-run telemetry table + JSON after the sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -69,6 +58,18 @@ func main() {
 		defer par.SetTelemetry(nil)
 		fem.SetTelemetry(telReg.Root().Child("fem"))
 		defer fem.SetTelemetry(nil)
+	}
+
+	if *ranks != "" {
+		gridList, err := cli.ParseInts(*grids)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runRanksMode(gridList, *ranks, *deta, *jsonFlag)
+		return
+	}
+	if *jsonFlag {
+		log.Fatal("ptatin-scaling: -json requires -ranks (the BENCH_PR5 schema covers the rank-distributed solve)")
 	}
 
 	counts := map[string]perfmodel.OpCounts{}
@@ -103,13 +104,16 @@ func main() {
 		"grid", "cores", "SpMV", "its", "coarse-setup", "coarse-apply", "solve(s)",
 		"E/C/s", "GF/C/s", "GF/s")
 
-	coreList := parseInts(*cores)
-	for i, c := range coreList {
-		if c <= 0 {
-			coreList[i] = runtime.NumCPU()
-		}
+	coreList, err := cli.ParseInts(*cores)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, g := range parseInts(*grids) {
+	cli.WorkersList(coreList)
+	gridList, err := cli.ParseInts(*grids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range gridList {
 		for _, c := range coreList {
 			for _, kind := range kinds {
 				runOne(g, c, *deta, kind, kindName[kind], counts[countName[kind]])
@@ -180,4 +184,128 @@ func runOne(g, workers int, deta float64, kind op.Kind, label string, oc perfmod
 		g, workers, label, res.Iterations,
 		setup.Seconds(), coarseApply.Seconds(), solve,
 		ecs, gfs/float64(workers), gfs)
+}
+
+// rankRecord is one (grid, rank-grid) measurement in the BENCH_PR5
+// schema: the rank-distributed solve of the sinker benchmark, with the
+// per-rank communication volumes and the analytic halo prediction.
+type rankRecord struct {
+	M             int                `json:"m"`
+	Ranks         string             `json:"ranks"`
+	NRanks        int                `json:"nranks"`
+	Iterations    int                `json:"iterations"`
+	Converged     bool               `json:"converged"`
+	SetupMs       float64            `json:"setup_ms"`
+	SolveMs       float64            `json:"solve_ms"`
+	ElemPerCoreS  float64            `json:"elem_per_core_s"`
+	PredHaloBytes float64            `json:"predicted_halo_bytes_per_exchange"`
+	PerRank       []stokes.RankStats `json:"per_rank"`
+}
+
+// runRanksMode reproduces the Tables II/III shape for the
+// rank-distributed solve: each grid is solved collectively over a
+// px×py×pz simulated MPI world (cores = ranks — the paper's flat-MPI
+// mapping), reporting iterations, time-to-solution, elements/core/s and
+// the per-rank halo/allreduce traffic next to the analytic halo-volume
+// prediction of the performance model. Grids whose multigrid hierarchy
+// the rank grid cannot decompose evenly (nesting requires Px,Py,Pz to
+// divide the element counts at every level) are reported and skipped.
+func runRanksMode(grids []int, ranksSpec string, deta float64, emitJSON bool) {
+	px, py, pz, err := cli.ParseRanks(ranksSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nr := px * py * pz
+	var records []rankRecord
+	if !emitJSON {
+		fmt.Printf("# Table II/III shape, rank-distributed (%s = %d ranks; cores = ranks)\n", ranksSpec, nr)
+		fmt.Printf("%-6s %-7s %4s %12s %12s %10s | %12s %12s %10s\n",
+			"grid", "ranks", "its", "setup(s)", "solve(s)", "E/C/s",
+			"halo-B/rank", "pred-B/exch", "allreduces")
+	}
+	for _, g := range grids {
+		o := model.DefaultSinkerOptions()
+		o.M = g
+		o.DeltaEta = deta
+		o.Workers = 1
+		mdl := model.NewSinker(o)
+		mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
+
+		cfg := mdl.Cfg
+		cfg.Workers = 1
+		cfg.FineKind = op.Tensor
+		cfg.Params.MaxIt = 1000
+		cfg.CoeffCoarsen = mdl.CoeffCoarsener()
+		if telReg != nil {
+			cfg.Telemetry = telReg.Root().Child(fmt.Sprintf("g%d_r%s", g, ranksSpec))
+		}
+
+		setupStart := time.Now()
+		s, err := stokes.New(mdl.Prob, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		setup := time.Since(setupStart)
+
+		bu := la.NewVec(mdl.Prob.DA.NVelDOF())
+		fem.MomentumRHS(mdl.Prob, bu)
+		x := la.NewVec(s.Op.N())
+		solveStart := time.Now()
+		res, stats, err := s.SolveDistributed(x, bu, px, py, pz)
+		solve := time.Since(solveStart).Seconds()
+		if err != nil {
+			// stderr in JSON mode so the document stays parseable.
+			if emitJSON {
+				log.Printf("grid %d ranks %s: SKIP: %v", g, ranksSpec, err)
+			} else {
+				fmt.Printf("%-6d %-7s SKIP: %v\n", g, ranksSpec, err)
+			}
+			continue
+		}
+		if !res.Converged {
+			if emitJSON {
+				log.Printf("grid %d ranks %s: FAILED after %d its", g, ranksSpec, res.Iterations)
+			} else {
+				fmt.Printf("%-6d %-7s FAILED after %d its\n", g, ranksSpec, res.Iterations)
+			}
+			continue
+		}
+		pred := perfmodel.HaloExchangeBytes(perfmodel.MaxGhostNodes(g, g, g, px, py, pz))
+		nel := float64(g * g * g)
+		ecs := nel / float64(nr) / solve
+		var maxBytes, maxMsgs, maxAR int64
+		for _, st := range stats {
+			maxBytes = max(maxBytes, st.HaloBytes)
+			maxMsgs = max(maxMsgs, st.HaloMsgs)
+			maxAR = max(maxAR, st.AllReduces)
+		}
+		if emitJSON {
+			records = append(records, rankRecord{
+				M: g, Ranks: ranksSpec, NRanks: nr,
+				Iterations: res.Iterations, Converged: true,
+				SetupMs: setup.Seconds() * 1e3, SolveMs: solve * 1e3,
+				ElemPerCoreS: ecs, PredHaloBytes: pred, PerRank: stats,
+			})
+			continue
+		}
+		fmt.Printf("%-6d %-7s %4d %12.3f %12.3f %10.0f | %12d %12.0f %10d\n",
+			g, ranksSpec, res.Iterations, setup.Seconds(), solve, ecs,
+			maxBytes, pred, maxAR)
+		for _, st := range stats {
+			fmt.Printf("#   rank %2d: halo %6d msgs %10d B, %5d allreduces, %d retries\n",
+				st.Rank, st.HaloMsgs, st.HaloBytes, st.AllReduces, st.Retries)
+		}
+	}
+	if emitJSON {
+		doc := struct {
+			Schema  string       `json:"schema"`
+			Ranks   string       `json:"ranks"`
+			Results []rankRecord `json:"results"`
+		}{Schema: "BENCH_PR5", Ranks: ranksSpec, Results: records}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -19,8 +19,8 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 
+	"ptatin3d/internal/cli"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/model"
@@ -46,9 +46,7 @@ func main() {
 	ckptPath := flag.String("checkpoint", "sinker.chkpt", "checkpoint file path")
 	restartFrom := flag.String("restart-from", "", "restore model state from this checkpoint before stepping")
 	flag.Parse()
-	if *workers <= 0 {
-		*workers = runtime.NumCPU()
-	}
+	*workers = cli.Workers(*workers)
 
 	if *cpuprofile != "" {
 		stop, err := telemetry.StartCPUProfile(*cpuprofile)

@@ -1,0 +1,63 @@
+// Package cli holds the small flag-parsing helpers shared by the cmd/
+// drivers: comma-separated integer lists (grid and core sweeps), rank
+// grids of the form "PxxPyxPz", and worker-count normalization. Every
+// driver used to carry its own copy of these loops; they live here once
+// so the sweep syntax stays identical across binaries.
+package cli
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// ParseInts parses a comma-separated integer list like "8,12,16".
+// Blanks around entries are ignored; an empty string is an error.
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad int list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseRanks parses a rank-grid spec of the form "PxxPyxPz" (e.g.
+// "2x2x1"): three positive integers separated by 'x'.
+func ParseRanks(s string) (px, py, pz int, err error) {
+	parts := strings.Split(strings.TrimSpace(s), "x")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad rank grid %q: want PxxPyxPz, e.g. 2x2x1", s)
+	}
+	dims := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return 0, 0, 0, fmt.Errorf("bad rank grid %q: part %q is not a positive integer", s, p)
+		}
+		dims[i] = v
+	}
+	return dims[0], dims[1], dims[2], nil
+}
+
+// Workers normalizes a -workers flag value: non-positive means "use
+// every CPU".
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// WorkersList normalizes a core-sweep list in place (0 entries become
+// runtime.NumCPU()) and returns it.
+func WorkersList(ns []int) []int {
+	for i, n := range ns {
+		ns[i] = Workers(n)
+	}
+	return ns
+}

@@ -1,0 +1,46 @@
+package cli
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts(" 8, 12 ,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 8 || got[1] != 12 || got[2] != 16 {
+		t.Fatalf("got %v", got)
+	}
+	for _, bad := range []string{"", "8,,16", "8,two"} {
+		if _, err := ParseInts(bad); err == nil {
+			t.Errorf("ParseInts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseRanks(t *testing.T) {
+	px, py, pz, err := ParseRanks("2x2x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if px != 2 || py != 2 || pz != 1 {
+		t.Fatalf("got %dx%dx%d", px, py, pz)
+	}
+	for _, bad := range []string{"", "2x2", "2x2x2x2", "2x0x1", "axbxc", "-1x2x2"} {
+		if _, _, _, err := ParseRanks(bad); err == nil {
+			t.Errorf("ParseRanks(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("positive passthrough")
+	}
+	if Workers(0) < 1 || Workers(-2) < 1 {
+		t.Fatal("normalization must yield >= 1")
+	}
+	ns := WorkersList([]int{1, 0, 4})
+	if ns[0] != 1 || ns[1] < 1 || ns[2] != 4 {
+		t.Fatalf("got %v", ns)
+	}
+}

@@ -100,6 +100,22 @@ type Rank struct {
 	seq   int64
 	stash map[int]map[int64]envelope
 	hist  map[int64]map[int]interface{}
+
+	// oob queues non-protocol messages (bare collective payloads such as
+	// AllReduce partials) that the reliable-exchange receive loop pulled
+	// out of the mailbox while draining envelopes: a faster neighbour may
+	// finish its exchange and move on to a collective while this rank is
+	// still retrying. Recv returns queued messages before reading the
+	// mailbox, preserving per-source FIFO order.
+	oob map[int][]interface{}
+}
+
+// oobPut queues a non-protocol message for a later Recv.
+func (r *Rank) oobPut(from int, v interface{}) {
+	if r.oob == nil {
+		r.oob = map[int][]interface{}{}
+	}
+	r.oob[from] = append(r.oob[from], v)
 }
 
 // Policy returns the world's retry policy (DefaultRetryPolicy if unset).
@@ -120,6 +136,11 @@ func (r *Rank) Send(to int, v interface{}) {
 
 // Recv blocks until a message from rank `from` arrives.
 func (r *Rank) Recv(from int) interface{} {
+	if q := r.oob[from]; len(q) > 0 {
+		v := q[0]
+		r.oob[from] = q[1:]
+		return v
+	}
 	return <-r.W.mail[r.ID][from]
 }
 

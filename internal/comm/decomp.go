@@ -18,15 +18,33 @@ type Decomp struct {
 	xb, yb, zb []int
 }
 
+// DecompError reports an invalid rank decomposition: non-positive part
+// counts, or more ranks along an axis than elements (which would produce
+// empty slabs with zero-width ElementRange and degenerate Neighbors).
+type DecompError struct {
+	Px, Py, Pz int
+	Mx, My, Mz int
+	Reason     string
+}
+
+// Error implements the error interface.
+func (e *DecompError) Error() string {
+	return fmt.Sprintf("comm: decomposition %dx%dx%d of element grid %dx%dx%d: %s",
+		e.Px, e.Py, e.Pz, e.Mx, e.My, e.Mz, e.Reason)
+}
+
 // NewDecomp splits the mesh into px×py×pz subdomains. Element counts per
-// part differ by at most one.
+// part differ by at most one. Decompositions with non-positive part
+// counts, or with more ranks along an axis than elements, are rejected
+// with a typed *DecompError.
 func NewDecomp(da *mesh.DA, px, py, pz int) (*Decomp, error) {
 	if px < 1 || py < 1 || pz < 1 {
-		return nil, fmt.Errorf("comm: invalid decomposition %dx%dx%d", px, py, pz)
+		return nil, &DecompError{Px: px, Py: py, Pz: pz, Mx: da.Mx, My: da.My, Mz: da.Mz,
+			Reason: "part counts must be >= 1"}
 	}
 	if px > da.Mx || py > da.My || pz > da.Mz {
-		return nil, fmt.Errorf("comm: decomposition %dx%dx%d exceeds element grid %dx%dx%d",
-			px, py, pz, da.Mx, da.My, da.Mz)
+		return nil, &DecompError{Px: px, Py: py, Pz: pz, Mx: da.Mx, My: da.My, Mz: da.Mz,
+			Reason: "more ranks along an axis than elements (empty slabs)"}
 	}
 	split := func(m, p int) []int {
 		b := make([]int, p+1)

@@ -72,13 +72,14 @@ func (d *Decomp) NodeOwner(n int) int {
 }
 
 // DistributedViscousApply computes y = J_uu·u with rank-distributed
-// element loops: rank r applies the tensor kernel over its elements into
-// the (rank-private, caller-zeroed) buffer y, ships partial sums of
-// non-owned boundary nodes to their owners, receives and accumulates
-// partials for nodes it owns, applies the Dirichlet identity on owned
-// rows, and finally receives owner totals back for its ghost nodes. On
-// return, y is correct at every node touched by rank r's elements (and
-// zero elsewhere).
+// element loops: rank r zeroes its rank-private buffer y (like every
+// other apply path — callers must not rely on accumulation), applies
+// the tensor kernel over its elements, ships partial sums of non-owned
+// boundary nodes to their owners, receives and accumulates partials for
+// nodes it owns, applies the Dirichlet identity on owned rows, and
+// finally receives owner totals back for its ghost nodes. On return, y
+// is correct at every node touched by rank r's elements (and zero
+// elsewhere).
 //
 // All ranks of the world must call this collectively with the same
 // decomposition and problem.

@@ -215,3 +215,52 @@ func TestRecvTimeout(t *testing.T) {
 		}
 	})
 }
+
+// TestExchangeReliablePreservesCollectivePayloads pins the interleaving
+// that deadlocked the rank-distributed solve at larger grids: rank 1
+// finishes its exchange with rank 0 quickly and races ahead into a
+// collective, sending rank 0 a bare (non-envelope) AllReduce partial
+// while rank 0 is still in its receive/retry loop waiting on a slower
+// neighbour (rank 2). The loop must queue the stray payload for the
+// collective's Recv instead of discarding it; before the fix this test
+// deadlocks at rank 0's recvSkipEnvelopes.
+func TestExchangeReliablePreservesCollectivePayloads(t *testing.T) {
+	w := NewWorld(3)
+	pol := RetryPolicy{Timeout: 200 * time.Millisecond, MaxRetries: 8, Backoff: 1}
+	var mu sync.Mutex
+	var failures []error
+	fail := func(err error) {
+		mu.Lock()
+		failures = append(failures, err)
+		mu.Unlock()
+	}
+	w.Run(func(r *Rank) {
+		switch r.ID {
+		case 0:
+			payload := map[int]interface{}{1: testPayload(0, 1, 0), 2: testPayload(0, 2, 0)}
+			if _, err := r.ExchangeReliable([]int{1, 2}, payload, pol, nil); err != nil {
+				fail(fmt.Errorf("rank 0 exchange: %w", err))
+				return
+			}
+			if v := r.recvSkipEnvelopes(1).(float64); v != 3.25 {
+				fail(fmt.Errorf("rank 0: collective payload = %v, want 3.25", v))
+			}
+		case 1:
+			if _, err := r.ExchangeReliable([]int{0}, map[int]interface{}{0: testPayload(1, 0, 0)}, pol, nil); err != nil {
+				fail(fmt.Errorf("rank 1 exchange: %w", err))
+				return
+			}
+			// Race ahead into the "collective" while rank 0 is still
+			// polling for rank 2's data.
+			r.Send(0, 3.25)
+		case 2:
+			time.Sleep(40 * time.Millisecond)
+			if _, err := r.ExchangeReliable([]int{0}, map[int]interface{}{0: testPayload(2, 0, 0)}, pol, nil); err != nil {
+				fail(fmt.Errorf("rank 2 exchange: %w", err))
+			}
+		}
+	})
+	for _, err := range failures {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ptatin3d/internal/telemetry"
+)
+
+// Dist bundles a rank with a Layout into the per-rank handle of the
+// distributed vector layer: owner-reduce/broadcast halo exchanges over
+// the reliable channel protocol, deterministic rank-ordered AllReduce
+// for dot products, and gather/broadcast collectives for the coarse
+// solve. All methods are rank-collective: every rank of the world must
+// call them in the same order with layouts of the same Decomp.
+//
+// Telemetry (Sc nilable): "halo_msgs"/"halo_bytes" counters for
+// exchanged packets, an "allreduces" counter and "allreduce" timer for
+// reductions, plus the reliable-exchange counters of ExchangeReliable.
+type Dist struct {
+	R   *Rank
+	L   *Layout
+	Pol RetryPolicy
+	Sc  *telemetry.Scope
+}
+
+// NewDist builds rank r's distributed-vector handle over layout l.
+func NewDist(r *Rank, l *Layout, sc *telemetry.Scope) *Dist {
+	return &Dist{R: r, L: l, Pol: r.Policy(), Sc: sc}
+}
+
+// countPacket accounts one outgoing halo packet.
+func (d *Dist) countPacket(pk *haloPacket) {
+	d.Sc.Counter("halo_msgs").Inc()
+	d.Sc.Counter("halo_bytes").Add(int64(4*len(pk.Node) + 8*len(pk.Val)))
+}
+
+// vecPacket carries a full vector (root broadcast of the coarse solve).
+type vecPacket struct {
+	Val []float64
+}
+
+// Checksum64 implements Checksummer.
+func (p *vecPacket) Checksum64() uint64 { return HashFloats(HashSeed, p.Val) }
+
+// CorruptCopy implements Corrupter.
+func (p *vecPacket) CorruptCopy(rng *rand.Rand) interface{} {
+	c := &vecPacket{Val: append([]float64(nil), p.Val...)}
+	if len(c.Val) > 0 {
+		i := rng.Intn(len(c.Val))
+		c.Val[i] = c.Val[i]*1.5 + 1
+	} else {
+		c.Val = append(c.Val, rng.Float64())
+	}
+	return c
+}
+
+// ReduceBroadcast completes a distributed additive apply on the
+// velocity vector y: partial sums this rank holds at ghost nodes are
+// shipped to their owners (first exchange), received partials are
+// accumulated into owned rows in ascending neighbour order, fixup (if
+// non-nil) runs on the now-complete owned values — the place for
+// Dirichlet identity rows — and owner totals are broadcast back to
+// every neighbour's ghost copies (second exchange).
+//
+// overlap (if non-nil) runs between starting the partial-sum exchange
+// and waiting on it: the paper's §II-D latency hiding — the caller
+// applies interior elements while boundary partials are in flight.
+//
+// y must be zero at every ghost node this rank's elements did not
+// write (all apply paths zero y before scattering, so this holds for
+// operator outputs); the extended ghost region may carry such zeros —
+// they are shipped and accumulate harmlessly.
+func (d *Dist) ReduceBroadcast(y []float64, overlap, fixup func()) error {
+	l := d.L
+	payload := map[int]interface{}{}
+	for _, n := range l.Neighbors {
+		gl := l.Ghost[n]
+		pk := &haloPacket{Node: gl, Val: make([]float64, 0, 3*len(gl))}
+		for _, node := range gl {
+			pk.Val = append(pk.Val, y[3*node], y[3*node+1], y[3*node+2])
+		}
+		payload[n] = pk
+		d.countPacket(pk)
+	}
+	px := d.R.StartExchange(l.Neighbors, payload, d.Pol, d.Sc)
+	if overlap != nil {
+		overlap()
+	}
+	recv, err := px.Wait()
+	if err != nil {
+		return fmt.Errorf("comm: halo partial-sum exchange: %w", err)
+	}
+	for _, n := range l.Neighbors {
+		pk := recv[n].(*haloPacket)
+		for i, node := range pk.Node {
+			y[3*node] += pk.Val[3*i]
+			y[3*node+1] += pk.Val[3*i+1]
+			y[3*node+2] += pk.Val[3*i+2]
+		}
+	}
+	if fixup != nil {
+		fixup()
+	}
+	return d.Broadcast(y)
+}
+
+// Broadcast refreshes the ghost entries of y from their owners: each
+// rank sends its owned values that neighbours read (Mirror lists) and
+// overwrites its ghost copies with the received owner values. Used as
+// the second half of ReduceBroadcast, and on its own to make an
+// externally-assembled vector halo-consistent (krylov.Exchanger).
+func (d *Dist) Broadcast(y []float64) error {
+	l := d.L
+	payload := map[int]interface{}{}
+	for _, n := range l.Neighbors {
+		ml := l.Mirror[n]
+		pk := &haloPacket{Node: ml, Val: make([]float64, 0, 3*len(ml))}
+		for _, node := range ml {
+			pk.Val = append(pk.Val, y[3*node], y[3*node+1], y[3*node+2])
+		}
+		payload[n] = pk
+		d.countPacket(pk)
+	}
+	recv, err := d.R.ExchangeReliable(l.Neighbors, payload, d.Pol, d.Sc)
+	if err != nil {
+		return fmt.Errorf("comm: halo owner-broadcast exchange: %w", err)
+	}
+	for _, n := range l.Neighbors {
+		pk := recv[n].(*haloPacket)
+		for i, node := range pk.Node {
+			y[3*node] = pk.Val[3*i]
+			y[3*node+1] = pk.Val[3*i+1]
+			y[3*node+2] = pk.Val[3*i+2]
+		}
+	}
+	return nil
+}
+
+// AllReduceSum returns the global sum of x with a deterministic
+// rank-ordered reduction: partials are gathered to rank 0 and summed in
+// ascending rank order, and the one result is broadcast, so every rank
+// sees the bit-identical value regardless of goroutine scheduling
+// (unlike Rank.AllReduceSum, which sums in arrival order). This is the
+// channel-backed AllReduce under every distributed dot product/norm.
+func (d *Dist) AllReduceSum(x float64) float64 {
+	start := time.Now()
+	defer func() {
+		d.Sc.Counter("allreduces").Inc()
+		d.Sc.Timer("allreduce").Observe(time.Since(start))
+	}()
+	r := d.R
+	size := r.W.Size()
+	if size == 1 {
+		return x
+	}
+	if r.ID == 0 {
+		s := x
+		for from := 1; from < size; from++ {
+			s += r.recvSkipEnvelopes(from).(float64)
+		}
+		for to := 1; to < size; to++ {
+			r.Send(to, s)
+		}
+		return s
+	}
+	r.Send(0, x)
+	return r.recvSkipEnvelopes(0).(float64)
+}
+
+// GatherSolveBroadcast runs a root-rank coarse solve: every rank ships
+// the owned velocity entries of b to rank 0 over the reliable protocol,
+// rank 0 — holding a globally valid b — runs solve (which must write
+// x), and x is broadcast back whole. b and x are full-length vectors;
+// on return x is globally valid on every rank.
+func (d *Dist) GatherSolveBroadcast(b, x []float64, solve func()) error {
+	r := d.R
+	size := r.W.Size()
+	if size == 1 {
+		solve()
+		return nil
+	}
+	if r.ID == 0 {
+		all := make([]int, 0, size-1)
+		payload := map[int]interface{}{}
+		for from := 1; from < size; from++ {
+			all = append(all, from)
+			payload[from] = &haloPacket{}
+		}
+		recv, err := r.ExchangeReliable(all, payload, d.Pol, d.Sc)
+		if err != nil {
+			return fmt.Errorf("comm: coarse gather: %w", err)
+		}
+		for _, from := range all {
+			pk := recv[from].(*haloPacket)
+			for i, node := range pk.Node {
+				b[3*node] = pk.Val[3*i]
+				b[3*node+1] = pk.Val[3*i+1]
+				b[3*node+2] = pk.Val[3*i+2]
+			}
+		}
+		solve()
+		// Deep copy: receivers unpack after our exchange completes, and
+		// the caller may mutate x before they do.
+		out := &vecPacket{Val: append([]float64(nil), x...)}
+		for _, to := range all {
+			payload[to] = out
+		}
+		d.Sc.Counter("halo_msgs").Add(int64(size - 1))
+		d.Sc.Counter("halo_bytes").Add(int64((size - 1) * 8 * len(x)))
+		if _, err := r.ExchangeReliable(all, payload, d.Pol, d.Sc); err != nil {
+			return fmt.Errorf("comm: coarse broadcast: %w", err)
+		}
+		return nil
+	}
+	own := d.L.OwnedNodes()
+	pk := &haloPacket{Node: own, Val: make([]float64, 0, 3*len(own))}
+	for _, node := range own {
+		pk.Val = append(pk.Val, b[3*node], b[3*node+1], b[3*node+2])
+	}
+	d.countPacket(pk)
+	if _, err := r.ExchangeReliable([]int{0}, map[int]interface{}{0: pk}, d.Pol, d.Sc); err != nil {
+		return fmt.Errorf("comm: coarse gather: %w", err)
+	}
+	sol, err := r.ExchangeReliable([]int{0}, map[int]interface{}{0: &haloPacket{}}, d.Pol, d.Sc)
+	if err != nil {
+		return fmt.Errorf("comm: coarse broadcast: %w", err)
+	}
+	copy(x, sol[0].(*vecPacket).Val)
+	return nil
+}

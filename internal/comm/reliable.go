@@ -192,124 +192,171 @@ func verifySum(env envelope) bool {
 // "duplicates"/"recovered_exchanges"/"exchange_failures" counters and an
 // "exchange" timer.
 func (r *Rank) ExchangeReliable(neighbors []int, payload map[int]interface{}, pol RetryPolicy, sc *telemetry.Scope) (map[int]interface{}, error) {
-	pol = pol.normalized()
-	telStart := sc.Timer("exchange").Start()
-	seq := r.seq
+	return r.StartExchange(neighbors, payload, pol, sc).Wait()
+}
+
+// PendingExchange is a reliable exchange whose first transmission is in
+// flight: StartExchange has sent the payloads (and adopted any stashed
+// early arrivals), but the receive/retry loop has not run. The caller
+// may compute between StartExchange and Wait — this is the §II-D
+// latency-hiding pattern: apply the subdomain-boundary elements, start
+// the halo exchange, apply the interior elements while messages are in
+// flight, then Wait.
+type PendingExchange struct {
+	r         *Rank
+	neighbors []int
+	pol       RetryPolicy
+	sc        *telemetry.Scope
+	seq       int64
+	telStart  time.Time
+
+	got     map[int]interface{}
+	pending map[int]bool // awaiting data from
+	unacked map[int]bool // awaiting ack from
+}
+
+// StartExchange begins a reliable neighbour exchange and returns without
+// waiting for the replies: the payloads are transmitted, stashed early
+// arrivals are adopted, and everything else is deferred to Wait. The
+// collective-order and symmetric-neighbour requirements of
+// ExchangeReliable apply; each StartExchange must be Wait-ed before the
+// rank issues another exchange.
+func (r *Rank) StartExchange(neighbors []int, payload map[int]interface{}, pol RetryPolicy, sc *telemetry.Scope) *PendingExchange {
+	px := &PendingExchange{
+		r: r, neighbors: neighbors, pol: pol.normalized(), sc: sc,
+		telStart: sc.Timer("exchange").Start(),
+		got:      make(map[int]interface{}, len(neighbors)),
+		pending:  make(map[int]bool, len(neighbors)),
+		unacked:  make(map[int]bool, len(neighbors)),
+	}
+	px.seq = r.seq
 	r.seq++
 	if fp := r.W.fault; fp != nil {
-		fp.maybeStall(r.ID, seq)
+		fp.maybeStall(r.ID, px.seq)
 	}
-	r.rememberSent(seq, payload)
-
-	got := make(map[int]interface{}, len(neighbors))
-	pending := make(map[int]bool, len(neighbors)) // awaiting data from
-	unacked := make(map[int]bool, len(neighbors)) // awaiting ack from
+	r.rememberSent(px.seq, payload)
 	for _, n := range neighbors {
-		pending[n] = true
-		unacked[n] = true
+		px.pending[n] = true
+		px.unacked[n] = true
 	}
-
-	accept := func(env envelope) {
-		if !verifySum(env) {
-			sc.Counter("corrupt_rejected").Inc()
-			// Ask for a pristine copy right away.
-			r.sendEnvelope(env.From, envelope{Kind: envResend, Seq: env.Seq, From: r.ID})
-			return
-		}
-		if pending[env.From] {
-			got[env.From] = env.Payload
-			delete(pending, env.From)
-		} else {
-			sc.Counter("duplicates").Inc()
-		}
-		r.sendEnvelope(env.From, envelope{Kind: envAck, Seq: env.Seq, From: r.ID})
-	}
-
 	// Adopt data that arrived early (stashed during a previous exchange).
 	for _, n := range neighbors {
-		if env, ok := r.stashTake(n, seq); ok {
-			accept(env)
+		if env, ok := r.stashTake(n, px.seq); ok {
+			px.accept(env)
 		}
 	}
-
-	handle := func(env envelope) {
-		switch env.Kind {
-		case envData:
-			switch {
-			case env.Seq == seq:
-				accept(env)
-			case env.Seq < seq:
-				// Late retransmission of an older exchange: the peer
-				// missed our ack — re-ack so it can make progress.
-				sc.Counter("duplicates").Inc()
-				r.sendEnvelope(env.From, envelope{Kind: envAck, Seq: env.Seq, From: r.ID})
-			default:
-				r.stashPut(env)
-			}
-		case envAck:
-			if env.Seq == seq {
-				delete(unacked, env.From)
-			}
-		case envResend:
-			if sent, ok := r.hist[env.Seq]; ok {
-				sc.Counter("resends_served").Inc()
-				r.sendEnvelope(env.From, r.dataEnvelope(env.Seq, sent[env.From]))
-			}
-		}
-	}
-
 	// First transmission.
 	for _, n := range neighbors {
-		r.sendEnvelope(n, r.dataEnvelope(seq, payload[n]))
+		r.sendEnvelope(n, r.dataEnvelope(px.seq, payload[n]))
 	}
+	return px
+}
 
-	timeout := pol.Timeout
+// accept takes a data envelope for this exchange: verify, record, ack.
+func (px *PendingExchange) accept(env envelope) {
+	r := px.r
+	if !verifySum(env) {
+		px.sc.Counter("corrupt_rejected").Inc()
+		// Ask for a pristine copy right away.
+		r.sendEnvelope(env.From, envelope{Kind: envResend, Seq: env.Seq, From: r.ID})
+		return
+	}
+	if px.pending[env.From] {
+		px.got[env.From] = env.Payload
+		delete(px.pending, env.From)
+	} else {
+		px.sc.Counter("duplicates").Inc()
+	}
+	r.sendEnvelope(env.From, envelope{Kind: envAck, Seq: env.Seq, From: r.ID})
+}
+
+// handle dispatches one protocol message received during Wait.
+func (px *PendingExchange) handle(env envelope) {
+	r := px.r
+	switch env.Kind {
+	case envData:
+		switch {
+		case env.Seq == px.seq:
+			px.accept(env)
+		case env.Seq < px.seq:
+			// Late retransmission of an older exchange: the peer
+			// missed our ack — re-ack so it can make progress.
+			px.sc.Counter("duplicates").Inc()
+			r.sendEnvelope(env.From, envelope{Kind: envAck, Seq: env.Seq, From: r.ID})
+		default:
+			r.stashPut(env)
+		}
+	case envAck:
+		if env.Seq == px.seq {
+			delete(px.unacked, env.From)
+		}
+	case envResend:
+		if sent, ok := r.hist[env.Seq]; ok {
+			px.sc.Counter("resends_served").Inc()
+			r.sendEnvelope(env.From, r.dataEnvelope(env.Seq, sent[env.From]))
+		}
+	}
+}
+
+// Wait runs the receive/retry loop to completion and returns the
+// verified payloads keyed by source (or a typed *ExchangeError once the
+// retry budget is exhausted).
+func (px *PendingExchange) Wait() (map[int]interface{}, error) {
+	r, sc := px.r, px.sc
+	timeout := px.pol.Timeout
 	attempts := 0
 	for {
-		slice := timeout / time.Duration(4*len(neighbors)+1)
+		slice := timeout / time.Duration(4*len(px.neighbors)+1)
 		if slice < 200*time.Microsecond {
 			slice = 200 * time.Microsecond
 		}
 		deadline := time.Now().Add(timeout)
-		for (len(pending) > 0 || len(unacked) > 0) && time.Now().Before(deadline) {
-			for _, n := range neighbors {
+		for (len(px.pending) > 0 || len(px.unacked) > 0) && time.Now().Before(deadline) {
+			for _, n := range px.neighbors {
 				if v, ok := r.RecvTimeout(n, slice); ok {
 					if env, ok := v.(envelope); ok {
-						handle(env)
+						px.handle(env)
+					} else {
+						// A bare collective payload from a neighbour that
+						// already finished this exchange and moved on —
+						// keep it for the collective's own Recv.
+						r.oobPut(n, v)
 					}
 				}
 			}
 		}
-		if len(pending) == 0 && len(unacked) == 0 {
-			sc.Timer("exchange").Stop(telStart)
+		if len(px.pending) == 0 && len(px.unacked) == 0 {
+			sc.Timer("exchange").Stop(px.telStart)
 			sc.Counter("exchanges").Inc()
 			if attempts > 0 {
 				sc.Counter("recovered_exchanges").Inc()
 			}
-			return got, nil
+			return px.got, nil
 		}
-		if attempts >= pol.MaxRetries {
+		if attempts >= px.pol.MaxRetries {
 			break
 		}
 		attempts++
 		sc.Counter("retries").Inc()
 		// Retransmit our data to neighbours that have not acked, and
 		// request resends from neighbours we have not heard from.
-		for n := range unacked {
-			r.sendEnvelope(n, r.dataEnvelope(seq, payload[n]))
+		for n := range px.unacked {
+			if sent, ok := r.hist[px.seq]; ok {
+				r.sendEnvelope(n, r.dataEnvelope(px.seq, sent[n]))
+			}
 		}
-		for n := range pending {
-			r.sendEnvelope(n, envelope{Kind: envResend, Seq: seq, From: r.ID})
+		for n := range px.pending {
+			r.sendEnvelope(n, envelope{Kind: envResend, Seq: px.seq, From: r.ID})
 		}
-		timeout = time.Duration(float64(timeout) * pol.Backoff)
+		timeout = time.Duration(float64(timeout) * px.pol.Backoff)
 	}
-	sc.Timer("exchange").Stop(telStart)
+	sc.Timer("exchange").Stop(px.telStart)
 	sc.Counter("exchange_failures").Inc()
-	err := &ExchangeError{Rank: r.ID, Seq: seq, Attempts: attempts + 1}
-	for n := range pending {
+	err := &ExchangeError{Rank: r.ID, Seq: px.seq, Attempts: attempts + 1}
+	for n := range px.pending {
 		err.MissingData = append(err.MissingData, n)
 	}
-	for n := range unacked {
+	for n := range px.unacked {
 		err.MissingAcks = append(err.MissingAcks, n)
 	}
 	sort.Ints(err.MissingData)

@@ -132,6 +132,25 @@ func (c *Coupling) ApplyGAdd(pv, yu la.Vec) {
 	})
 }
 
+// ApplyGAddElements accumulates yu += G·pv over the given elements only
+// — the rank-local piece of the distributed coupled apply. Like
+// ApplyGAdd it writes free velocity rows only; unlike it the loop is
+// serial, since in the distributed solve parallelism comes from ranks,
+// not the worker pool.
+func (c *Coupling) ApplyGAddElements(elems []int, pv, yu la.Vec) {
+	p := c.P
+	var ye [81]float64
+	for _, e := range elems {
+		ge := c.Ge[324*e : 324*e+324]
+		p0, p1, p2, p3 := pv[4*e], pv[4*e+1], pv[4*e+2], pv[4*e+3]
+		for i := 0; i < 81; i++ {
+			row := ge[4*i : 4*i+4]
+			ye[i] = row[0]*p0 + row[1]*p1 + row[2]*p2 + row[3]*p3
+		}
+		p.scatterAdd(e, &ye, yu)
+	}
+}
+
 // ApplyD computes yp = Gᵀ·u treating constrained velocity entries as zero
 // (the symmetric-elimination form used inside Krylov applications).
 func (c *Coupling) ApplyD(u, yp la.Vec) { c.applyD(u, yp, true) }
@@ -140,35 +159,50 @@ func (c *Coupling) ApplyD(u, yp la.Vec) { c.applyD(u, yp, true) }
 // prescribed boundary values (residual evaluation form).
 func (c *Coupling) ApplyDRaw(u, yp la.Vec) { c.applyD(u, yp, false) }
 
+// ApplyDElements computes the masked divergence rows yp = Gᵀ·u for the
+// given elements only. P1disc pressure dofs are element-local, so no
+// halo exchange is needed: each rank fully owns the pressure rows of
+// its elements.
+func (c *Coupling) ApplyDElements(elems []int, u, yp la.Vec) {
+	for _, e := range elems {
+		c.applyDElem(e, u, yp, true)
+	}
+}
+
 func (c *Coupling) applyD(u, yp la.Vec, masked bool) {
 	p := c.P
-	mask := p.BC.Mask
 	p.forEachElement(func(e int) {
-		ge := c.Ge[324*e : 324*e+324]
-		em := p.Emap[27*e : 27*e+27]
-		var s [4]float64
-		for n := 0; n < 27; n++ {
-			d := 3 * int(em[n])
-			for a := 0; a < 3; a++ {
-				if masked && mask[d+a] {
-					continue
-				}
-				ua := u[d+a]
-				if ua == 0 {
-					continue
-				}
-				row := ge[(3*n+a)*4 : (3*n+a)*4+4]
-				s[0] += row[0] * ua
-				s[1] += row[1] * ua
-				s[2] += row[2] * ua
-				s[3] += row[3] * ua
-			}
-		}
-		yp[4*e] = s[0]
-		yp[4*e+1] = s[1]
-		yp[4*e+2] = s[2]
-		yp[4*e+3] = s[3]
+		c.applyDElem(e, u, yp, masked)
 	})
+}
+
+func (c *Coupling) applyDElem(e int, u, yp la.Vec, masked bool) {
+	p := c.P
+	mask := p.BC.Mask
+	ge := c.Ge[324*e : 324*e+324]
+	em := p.Emap[27*e : 27*e+27]
+	var s [4]float64
+	for n := 0; n < 27; n++ {
+		d := 3 * int(em[n])
+		for a := 0; a < 3; a++ {
+			if masked && mask[d+a] {
+				continue
+			}
+			ua := u[d+a]
+			if ua == 0 {
+				continue
+			}
+			row := ge[(3*n+a)*4 : (3*n+a)*4+4]
+			s[0] += row[0] * ua
+			s[1] += row[1] * ua
+			s[2] += row[2] * ua
+			s[3] += row[3] * ua
+		}
+	}
+	yp[4*e] = s[0]
+	yp[4*e+1] = s[1]
+	yp[4*e+2] = s[2]
+	yp[4*e+3] = s[3]
 }
 
 // PressureMass holds the inverted element blocks of the viscosity-scaled
@@ -242,10 +276,22 @@ func (m *PressureMass) Setup() {
 func (m *PressureMass) ApplyInv(x, y la.Vec) {
 	p := m.P
 	p.forEachElement(func(e int) {
-		b := m.inv[16*e : 16*e+16]
-		xe := x[4*e : 4*e+4]
-		for i := 0; i < 4; i++ {
-			y[4*e+i] = b[4*i]*xe[0] + b[4*i+1]*xe[1] + b[4*i+2]*xe[2] + b[4*i+3]*xe[3]
-		}
+		m.applyInvElem(e, x, y)
 	})
+}
+
+// ApplyInvElements computes y = M⁻¹·x for the given elements only (the
+// Schur preconditioner rows a rank owns in the distributed solve).
+func (m *PressureMass) ApplyInvElements(elems []int, x, y la.Vec) {
+	for _, e := range elems {
+		m.applyInvElem(e, x, y)
+	}
+}
+
+func (m *PressureMass) applyInvElem(e int, x, y la.Vec) {
+	b := m.inv[16*e : 16*e+16]
+	xe := x[4*e : 4*e+4]
+	for i := 0; i < 4; i++ {
+		y[4*e+i] = b[4*i]*xe[0] + b[4*i+1]*xe[1] + b[4*i+2]*xe[2] + b[4*i+3]*xe[3]
+	}
 }

@@ -15,9 +15,15 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 	ap := la.NewVec(n)
 
 	telStart := prm.begin()
+	if err := prm.consistent(x, b); err != nil {
+		var res Result
+		res.failEntry(prm, err)
+		res.finish(prm, telStart)
+		return res
+	}
 	a.Apply(x, r)
 	r.AYPX(-1, b) // r = b - A·x
-	res := Result{Residual0: r.Norm2()}
+	res := Result{Residual0: prm.norm2(r)}
 	rn := res.Residual0
 	res.record(prm, rn)
 	if k := badNorm(rn); k != 0 {
@@ -35,10 +41,10 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 	stag := newStagGuard(prm)
 	m.Apply(r, z)
 	p.Copy(z)
-	rz := r.Dot(z)
+	rz := prm.dot(r, z)
 	for it := 1; it <= prm.MaxIt; it++ {
 		a.Apply(p, ap)
-		den := p.Dot(ap)
+		den := prm.dot(p, ap)
 		if den == 0 || rz == 0 {
 			res.fail(prm, "cg", BreakdownZeroPivot, it, den)
 			break
@@ -50,14 +56,14 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 		alpha := rz / den
 		x.AXPY(alpha, p)
 		r.AXPY(-alpha, ap)
-		rn = r.Norm2()
+		rn = prm.norm2(r)
 		res.Iterations = it
 		res.record(prm, rn)
 		if k := badNorm(rn); k != 0 {
 			res.fail(prm, "cg", k, it, rn)
 			break
 		}
-		if r.HasNaN() {
+		if prm.hasNaN(r) {
 			res.fail(prm, "cg", BreakdownNaN, it, rn)
 			break
 		}
@@ -70,7 +76,7 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 			break
 		}
 		m.Apply(r, z)
-		rzNew := r.Dot(z)
+		rzNew := prm.dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
 		p.AYPX(beta, z)
@@ -88,9 +94,15 @@ func Richardson(a Op, m Preconditioner, b, x la.Vec, omega float64, prm Params) 
 	telStart := prm.begin()
 	r := la.NewVec(n)
 	z := la.NewVec(n)
+	if err := prm.consistent(x, b); err != nil {
+		var res Result
+		res.failEntry(prm, err)
+		res.finish(prm, telStart)
+		return res
+	}
 	a.Apply(x, r)
 	r.AYPX(-1, b)
-	res := Result{Residual0: r.Norm2()}
+	res := Result{Residual0: prm.norm2(r)}
 	rn := res.Residual0
 	res.record(prm, rn)
 	for it := 1; it <= prm.MaxIt; it++ {
@@ -102,14 +114,14 @@ func Richardson(a Op, m Preconditioner, b, x la.Vec, omega float64, prm Params) 
 		x.AXPY(omega, z)
 		a.Apply(x, r)
 		r.AYPX(-1, b)
-		rn = r.Norm2()
+		rn = prm.norm2(r)
 		res.Iterations = it
 		res.record(prm, rn)
 		if k := badNorm(rn); k != 0 {
 			res.fail(prm, "richardson", k, it, rn)
 			break
 		}
-		if r.HasNaN() {
+		if prm.hasNaN(r) {
 			res.fail(prm, "richardson", BreakdownNaN, it, rn)
 			break
 		}

@@ -1,0 +1,86 @@
+package krylov
+
+import (
+	"math"
+
+	"ptatin3d/internal/la"
+)
+
+// Rank-collective solves (paper §II-D): the Krylov methods of this
+// package become distributed by swapping their two global primitives —
+// inner products and halo consistency — behind the Reducer/Exchanger
+// interfaces below. With both nil (the default) every method runs the
+// original shared-memory path, bit for bit.
+//
+// In a distributed solve each rank calls the same method collectively
+// on its own full-length vector copy, valid on the owned+ghost entries
+// of its layout. Correctness rests on collective consistency: Reducer
+// must return the bit-identical globally-reduced value on every rank
+// (e.g. rank-ordered gather + broadcast), so all ranks take the same
+// branches — Givens rotations, convergence and breakdown decisions —
+// in lockstep. BLAS-1 updates then stay consistent on owned and ghost
+// entries alike, and operator/preconditioner applications re-establish
+// ghost validity via their own halo exchanges.
+
+// Reducer supplies rank-collective inner products: Dot must sum each
+// rank's partial product over its owned dofs and return the identical
+// reduced value on every rank.
+type Reducer interface {
+	Dot(x, y la.Vec) float64
+}
+
+// Exchanger refreshes the ghost entries of an externally assembled
+// vector from their owners, making it halo-consistent before the first
+// operator application. Solve entry points call it on the initial guess
+// and right-hand side when set.
+type Exchanger interface {
+	Consistent(x la.Vec) error
+}
+
+// dot returns the (possibly rank-collective) inner product.
+func (p Params) dot(x, y la.Vec) float64 {
+	if p.Reducer != nil {
+		return p.Reducer.Dot(x, y)
+	}
+	return x.Dot(y)
+}
+
+// norm2 returns the (possibly rank-collective) Euclidean norm.
+func (p Params) norm2(x la.Vec) float64 {
+	if p.Reducer != nil {
+		return math.Sqrt(p.Reducer.Dot(x, x))
+	}
+	return x.Norm2()
+}
+
+// hasNaN runs the full-vector NaN scan only on the shared-memory path:
+// a distributed rank's vector copy is undefined outside its owned+ghost
+// region (finite, but meaningless), and the collective badNorm checks
+// on reduced values already catch NaN/Inf consistently on all ranks.
+func (p Params) hasNaN(x la.Vec) bool {
+	return p.Reducer == nil && x.HasNaN()
+}
+
+// consistent makes the caller-supplied vectors halo-consistent (no-op
+// without an Exchanger). The returned error is the exchange failure, to
+// be surfaced through Result.Err as a breakdown.
+func (p Params) consistent(vs ...la.Vec) error {
+	if p.Exchanger == nil {
+		return nil
+	}
+	for _, v := range vs {
+		if err := p.Exchanger.Consistent(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// failEntry marks a solve that could not start because the entry
+// exchange failed: a communication breakdown before iteration 0, with
+// the exchange error carried through Result.Err as-is.
+func (r *Result) failEntry(p Params, err error) {
+	r.Breakdown = true
+	r.Err = err
+	p.Telemetry.Counter("breakdowns").Inc()
+}

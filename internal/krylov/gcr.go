@@ -19,9 +19,15 @@ func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, 
 	mr := prm.restart()
 	telStart := prm.begin()
 	r := la.NewVec(n)
+	if err := prm.consistent(x, b); err != nil {
+		var res Result
+		res.failEntry(prm, err)
+		res.finish(prm, telStart)
+		return res
+	}
 	a.Apply(x, r)
 	r.AYPX(-1, b)
-	res := Result{Residual0: r.Norm2()}
+	res := Result{Residual0: prm.norm2(r)}
 	rn := res.Residual0
 	res.record(prm, rn)
 	if callback != nil {
@@ -51,21 +57,21 @@ func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, 
 		a.Apply(z, q)
 		// Orthogonalize q against previous directions (modified GS).
 		for i := range qs {
-			beta := q.Dot(qs[i])
+			beta := prm.dot(q, qs[i])
 			q.AXPY(-beta, qs[i])
 			z.AXPY(-beta, zs[i])
 		}
-		qn := q.Norm2()
+		qn := prm.norm2(q)
 		if qn == 0 {
 			res.fail(prm, "gcr", BreakdownZeroPivot, it, qn)
 			break
 		}
 		q.Scale(1 / qn)
 		z.Scale(1 / qn)
-		alpha := r.Dot(q)
+		alpha := prm.dot(r, q)
 		x.AXPY(alpha, z)
 		r.AXPY(-alpha, q)
-		rn = r.Norm2()
+		rn = prm.norm2(r)
 		res.Iterations = it
 		res.record(prm, rn)
 		if callback != nil {
@@ -75,7 +81,7 @@ func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, 
 			res.fail(prm, "gcr", k, it, rn)
 			break
 		}
-		if r.HasNaN() {
+		if prm.hasNaN(r) {
 			res.fail(prm, "gcr", BreakdownNaN, it, rn)
 			break
 		}

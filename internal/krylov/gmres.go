@@ -21,11 +21,17 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 		method = "fgmres"
 	}
 
+	if err := prm.consistent(x, b); err != nil {
+		var res Result
+		res.failEntry(prm, err)
+		res.finish(prm, telStart)
+		return res
+	}
 	r := la.NewVec(n)
 	w := la.NewVec(n)
 	a.Apply(x, r)
 	r.AYPX(-1, b)
-	res := Result{Residual0: r.Norm2()}
+	res := Result{Residual0: prm.norm2(r)}
 	rn := res.Residual0
 	res.record(prm, rn)
 	if k := badNorm(rn); k != 0 {
@@ -64,7 +70,7 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 		// Start/restart the Arnoldi process from the current residual.
 		a.Apply(x, r)
 		r.AYPX(-1, b)
-		beta := r.Norm2()
+		beta := prm.norm2(r)
 		if k := badNorm(beta); k != 0 {
 			res.fail(prm, method, k, it, beta)
 			rn = beta
@@ -94,11 +100,11 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 			}
 			// Modified Gram–Schmidt.
 			for i := 0; i <= j; i++ {
-				hij := w.Dot(v[i])
+				hij := prm.dot(w, v[i])
 				h[i*mr+j] = hij
 				w.AXPY(-hij, v[i])
 			}
-			hj1 := w.Norm2()
+			hj1 := prm.norm2(w)
 			h[(j+1)*mr+j] = hj1
 			if hj1 != 0 {
 				v[j+1].Copy(w)

@@ -77,6 +77,17 @@ type Params struct {
 	// check, preserving the plain run-to-MaxIt behaviour.
 	StagnationWindow int
 
+	// Reducer, when non-nil, makes the solve rank-collective: every dot
+	// product and norm goes through it instead of the serial BLAS-1
+	// kernels, and per-vector NaN scans are skipped (ghost-free regions
+	// of a rank's vector copy are undefined). Nil keeps the
+	// shared-memory path bit-for-bit. See distributed.go.
+	Reducer Reducer
+	// Exchanger, when non-nil, refreshes the ghost entries of the
+	// caller-supplied b and x at solve entry so the first operator
+	// application reads consistent halos. Nil disables the exchange.
+	Exchanger Exchanger
+
 	// Telemetry, when non-nil, receives structured solve instrumentation:
 	// a "residual" series with one sample per recorded residual norm, a
 	// "solve" timer, "solves"/"iterations"/"converged" counters and

@@ -93,6 +93,17 @@ func (v Vec) Dot(x Vec) float64 {
 	return s
 }
 
+// DotRange returns the inner product of v[i0:i1] with x[i0:i1] — the
+// partial-sum building block of rank-distributed reductions, where each
+// rank dots only the dof ranges it owns.
+func (v Vec) DotRange(x Vec, i0, i1 int) float64 {
+	var s float64
+	for i := i0; i < i1; i++ {
+		s += v[i] * x[i]
+	}
+	return s
+}
+
 // Norm2 returns the Euclidean norm of v.
 func (v Vec) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
 

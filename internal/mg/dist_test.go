@@ -1,0 +1,199 @@
+package mg
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ptatin3d/internal/comm"
+	"ptatin3d/internal/krylov"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/op"
+)
+
+// buildDistFixture builds a shared hierarchy plus per-level decomps.
+func buildDistFixture(t *testing.T, m, levels int, px, py, pz int) (*MG, []*comm.Decomp) {
+	t.Helper()
+	eta := func(x, y, z float64) float64 { return 1 + 10*x*y + 5*z }
+	fine := stdProblem(m, eta)
+	probs := CoarsenProblems(fine, levels, FuncCoeffCoarsener(eta, nil))
+	mgp, err := Build(probs, Options{
+		Kinds:       op.DefaultLevelKinds(levels, op.Tensor, false),
+		SmoothSteps: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgp.UseBlockJacobiCoarse(1); err != nil {
+		t.Fatal(err)
+	}
+	decomps := make([]*comm.Decomp, levels)
+	for l, lev := range mgp.Levels {
+		d, err := comm.NewDecomp(lev.Prob.DA, px, py, pz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decomps[l] = d
+	}
+	if err := ValidateNestedDecomps(decomps); err != nil {
+		t.Fatal(err)
+	}
+	return mgp, decomps
+}
+
+// rankDists builds rank r's per-level comm handles.
+func rankDists(r *comm.Rank, decomps []*comm.Decomp) []*comm.Dist {
+	dists := make([]*comm.Dist, len(decomps))
+	for l, d := range decomps {
+		dists[l] = comm.NewDist(r, comm.NewLayout(d, r.ID), nil)
+	}
+	return dists
+}
+
+// TestDistMGMatchesShared: one distributed V-cycle application must
+// agree with the shared-memory V-cycle on every rank's owned dofs to
+// floating-point roundoff (the two differ only in element summation
+// order on the matrix-free fine level).
+func TestDistMGMatchesShared(t *testing.T) {
+	mgp, decomps := buildDistFixture(t, 8, 2, 2, 2, 1)
+	n := mgp.Levels[0].Op.N()
+	rng := rand.New(rand.NewSource(7))
+	b := la.NewVec(n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	zs := la.NewVec(n)
+	mgp.Apply(b, zs)
+
+	w := comm.NewWorld(decomps[0].Size())
+	var mu sync.Mutex
+	zd := la.NewVec(n)
+	w.Run(func(r *comm.Rank) {
+		dists := rankDists(r, decomps)
+		dmg, err := NewDist(mgp, dists)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		z := la.NewVec(n)
+		dmg.Apply(b, z)
+		if err := dmg.Err(); err != nil {
+			t.Errorf("rank %d: %v", r.ID, err)
+		}
+		l := dists[0].L
+		mu.Lock()
+		for _, node := range l.OwnedNodes() {
+			for c := 0; c < 3; c++ {
+				zd[3*node+int32(c)] = z[3*node+int32(c)]
+			}
+		}
+		mu.Unlock()
+	})
+	ref := zs.Norm2()
+	diff := zd.Clone()
+	diff.AXPY(-1, zs)
+	if rel := diff.Norm2() / ref; rel > 1e-12 {
+		t.Fatalf("distributed V-cycle deviates from shared: rel %.3e", rel)
+	}
+}
+
+// TestDistMGRejectsNonNestedDecomps: a rank grid that does not divide
+// the per-level element counts evenly must be rejected up front, not
+// fail mysteriously mid-cycle.
+func TestDistMGRejectsNonNestedDecomps(t *testing.T) {
+	eta := func(x, y, z float64) float64 { return 1 }
+	fine := stdProblem(8, eta)
+	probs := CoarsenProblems(fine, 2, FuncCoeffCoarsener(eta, nil))
+	decomps := make([]*comm.Decomp, 2)
+	for l, p := range probs {
+		d, err := comm.NewDecomp(p.DA, 3, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decomps[l] = d
+	}
+	if err := ValidateNestedDecomps(decomps); err == nil {
+		t.Fatal("3x1x1 over 8->4 elements nests unevenly; want error")
+	}
+}
+
+// velReducer/velExchanger distribute a velocity-block Krylov solve: the
+// partial dot over the owned node box with a deterministic AllReduce,
+// and an owner broadcast for halo consistency.
+type velReducer struct{ d *comm.Dist }
+
+func (rd velReducer) Dot(x, y la.Vec) float64 {
+	return rd.d.AllReduceSum(rd.d.L.DotVel(x, y))
+}
+
+type velExchanger struct{ d *comm.Dist }
+
+func (ex velExchanger) Consistent(x la.Vec) error { return ex.d.Broadcast(x) }
+
+// TestDistributedCGMatchesShared: rank-collective CG on the viscous
+// fine operator must follow the shared-memory iteration — same count,
+// matching solution — exercising the Reducer/Exchanger plumbing and the
+// overlapped halo operator outside the V-cycle context.
+func TestDistributedCGMatchesShared(t *testing.T) {
+	mgp, decomps := buildDistFixture(t, 8, 2, 2, 1, 2)
+	lev := mgp.Levels[0]
+	n := lev.Op.N()
+	rng := rand.New(rand.NewSource(11))
+	b := la.NewVec(n)
+	for i := range b {
+		if !lev.Prob.BC.Mask[i] {
+			b[i] = rng.NormFloat64()
+		}
+	}
+	prm := krylov.DefaultParams()
+	prm.RTol = 1e-8
+	prm.MaxIt = 400
+	jac := lev.Smoother.M
+
+	xs := la.NewVec(n)
+	resS := krylov.CG(lev.Op, jac, b, xs, prm)
+	if !resS.Converged {
+		t.Fatalf("shared CG did not converge: %d its", resS.Iterations)
+	}
+
+	w := comm.NewWorld(decomps[0].Size())
+	var mu sync.Mutex
+	xd := la.NewVec(n)
+	its := make([]int, decomps[0].Size())
+	w.Run(func(r *comm.Rank) {
+		dists := rankDists(r, decomps)
+		dmg, err := NewDist(mgp, dists)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dprm := prm
+		dprm.Reducer = velReducer{dists[0]}
+		dprm.Exchanger = velExchanger{dists[0]}
+		x := la.NewVec(n)
+		res := krylov.CG(dmg.lev[0].op, jac, b.Clone(), x, dprm)
+		if !res.Converged {
+			t.Errorf("rank %d: distributed CG did not converge (%d its, err %v)", r.ID, res.Iterations, res.Err)
+		}
+		l := dists[0].L
+		mu.Lock()
+		its[r.ID] = res.Iterations
+		for _, node := range l.OwnedNodes() {
+			for c := 0; c < 3; c++ {
+				xd[3*node+int32(c)] = x[3*node+int32(c)]
+			}
+		}
+		mu.Unlock()
+	})
+	for rid, it := range its {
+		if it != resS.Iterations {
+			t.Fatalf("rank %d took %d iterations, shared took %d", rid, it, resS.Iterations)
+		}
+	}
+	diff := xd.Clone()
+	diff.AXPY(-1, xs)
+	if rel := diff.Norm2() / math.Max(xs.Norm2(), 1e-300); rel > 1e-8 {
+		t.Fatalf("distributed CG deviates: rel %.3e", rel)
+	}
+}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,29 +11,42 @@ import (
 	"ptatin3d/internal/la"
 )
 
-func checkpointTestModel() *Model {
+func checkpointTestModelWorkers(workers int) *Model {
 	o := DefaultSinkerOptions()
 	o.M = 6
 	o.Nc = 3
 	o.Rc = 0.18
 	o.DeltaEta = 100
-	o.Workers = 1
+	o.Workers = workers
 	return NewSinker(o)
 }
+
+func checkpointTestModel() *Model { return checkpointTestModelWorkers(1) }
 
 // TestCheckpointRestartExact verifies that restarting from a step-1
 // checkpoint replays the remaining steps bit-for-bit: the continued run's
 // residual histories, time steps and iteration counts must equal the
 // uninterrupted reference run exactly, and re-serializing the restored
-// state must reproduce the checkpoint byte-identically.
+// state must reproduce the checkpoint byte-identically. The guarantee is
+// worker-count independent — the slab-partitioned scatter fixes each
+// worker's summation order regardless of scheduling — so the whole
+// scenario runs at Workers 1, 2 and 4.
 func TestCheckpointRestartExact(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			checkpointRestartExact(t, workers)
+		})
+	}
+}
+
+func checkpointRestartExact(t *testing.T, workers int) {
 	const steps = 3
 
 	// Reference: uninterrupted run.
-	ref := checkpointTestModel()
+	ref := checkpointTestModelWorkers(workers)
 	for s := 0; s < steps; s++ {
 		if err := ref.StepForward(); err != nil {
 			t.Fatalf("reference step %d: %v", s, err)
@@ -42,7 +56,7 @@ func TestCheckpointRestartExact(t *testing.T) {
 	// Interrupted run: one step, checkpoint to disk, restore into a fresh
 	// model, continue.
 	path := filepath.Join(t.TempDir(), "step1.chkpt")
-	a := checkpointTestModel()
+	a := checkpointTestModelWorkers(workers)
 	if err := a.StepForward(); err != nil {
 		t.Fatalf("step 0: %v", err)
 	}
@@ -50,7 +64,7 @@ func TestCheckpointRestartExact(t *testing.T) {
 		t.Fatalf("SaveCheckpoint: %v", err)
 	}
 
-	b := checkpointTestModel()
+	b := checkpointTestModelWorkers(workers)
 	if err := b.LoadCheckpoint(path); err != nil {
 		t.Fatalf("LoadCheckpoint: %v", err)
 	}

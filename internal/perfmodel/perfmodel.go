@@ -249,3 +249,54 @@ func AssemblySetupCounts() OpCounts {
 		BytesPessimal: 81*81*8 + 4608*32,
 	}
 }
+
+// GhostNodes predicts the per-rank ghost-region size of the
+// rank-distributed solve (paper §II-D): the number of Q2 nodes rank
+// (pi,pj,pk) of a px×py×pz decomposition of an mx×my×mz element grid
+// reads but does not own. It reproduces the comm.Layout ownership
+// convention analytically — owned node range [2a+1, 2b+1) per axis
+// (first part also owns [0,·)), read region [2a, 2·min(b+1,m)+1) — so
+// the prediction matches the exchange lists exactly: ghost count =
+// ext-box volume − owned-box volume.
+func GhostNodes(mx, my, mz, px, py, pz, pi, pj, pk int) int {
+	axis := func(m, p, i int) (owned, ext int) {
+		a, b := i*m/p, (i+1)*m/p
+		lo := 2*a + 1
+		if a == 0 {
+			lo = 0
+		}
+		owned = 2*b + 1 - lo
+		ext = 2*min(b+1, m) + 1 - 2*a
+		return
+	}
+	ox, ex := axis(mx, px, pi)
+	oy, ey := axis(my, py, pj)
+	oz, ez := axis(mz, pz, pk)
+	return ex*ey*ez - ox*oy*oz
+}
+
+// MaxGhostNodes returns the worst per-rank ghost-region size over the
+// whole rank grid — the load-balance-relevant number for the halo-bytes
+// column of the scaling tables.
+func MaxGhostNodes(mx, my, mz, px, py, pz int) int {
+	worst := 0
+	for pk := 0; pk < pz; pk++ {
+		for pj := 0; pj < py; pj++ {
+			for pi := 0; pi < px; pi++ {
+				if g := GhostNodes(mx, my, mz, px, py, pz, pi, pj, pk); g > worst {
+					worst = g
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// HaloExchangeBytes predicts the payload of one owner-broadcast halo
+// exchange for a ghost region of the given node count: each ghost node
+// carries an int32 node id plus three float64 velocity components. An
+// owner-reduce apply (ReduceBroadcast) moves twice this volume —
+// partials in, totals back.
+func HaloExchangeBytes(ghostNodes int) float64 {
+	return float64(ghostNodes) * (4 + 3*8)
+}

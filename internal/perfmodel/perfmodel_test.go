@@ -1,6 +1,11 @@
 package perfmodel
 
-import "testing"
+import (
+	"testing"
+
+	"ptatin3d/internal/comm"
+	"ptatin3d/internal/mesh"
+)
 
 func TestPaperTableIShape(t *testing.T) {
 	rows := PaperTableI()
@@ -86,5 +91,37 @@ func TestMeasurementsSane(t *testing.T) {
 	fl := MeasureFlops(1<<18, 2)
 	if fl < 1e7 || fl > 1e12 {
 		t.Fatalf("flop rate implausible: %e F/s", fl)
+	}
+}
+
+// TestGhostNodesMatchesLayout cross-checks the analytic ghost-region
+// model against the actual exchange lists of comm.Layout: the predicted
+// ghost count must equal the total length of the Ghost lists for every
+// rank of several decompositions.
+func TestGhostNodesMatchesLayout(t *testing.T) {
+	da := mesh.New(6, 4, 3, 0, 1, 0, 1, 0, 1)
+	for _, pg := range [][3]int{{2, 2, 1}, {3, 1, 1}, {2, 2, 3}, {1, 1, 1}} {
+		d, err := comm.NewDecomp(da, pg[0], pg[1], pg[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < d.Size(); r++ {
+			l := comm.NewLayout(d, r)
+			var actual int
+			for _, g := range l.Ghost {
+				actual += len(g)
+			}
+			pi, pj, pk := d.RankIJK(r)
+			pred := GhostNodes(da.Mx, da.My, da.Mz, pg[0], pg[1], pg[2], pi, pj, pk)
+			if pred != actual {
+				t.Errorf("%v rank %d: predicted %d ghost nodes, layout has %d", pg, r, pred, actual)
+			}
+			if m := MaxGhostNodes(da.Mx, da.My, da.Mz, pg[0], pg[1], pg[2]); m < pred {
+				t.Errorf("%v: max %d < rank %d count %d", pg, m, r, pred)
+			}
+		}
+	}
+	if HaloExchangeBytes(10) != 280 {
+		t.Errorf("HaloExchangeBytes(10) = %v, want 280", HaloExchangeBytes(10))
 	}
 }

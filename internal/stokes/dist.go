@@ -1,0 +1,287 @@
+package stokes
+
+import (
+	"fmt"
+	"sync"
+
+	"ptatin3d/internal/comm"
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/krylov"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/mg"
+)
+
+// Rank-distributed coupled Stokes solve (paper §II-D): the whole outer
+// Krylov iteration — coupled matvec, field-split preconditioner with a
+// distributed multigrid V-cycle on the viscous block, and all inner
+// products — runs collectively across the ranks of a simulated MPI
+// world. Each rank iterates on its own full-length vector copy, valid
+// on the owned+ghost entries of its per-level layout; every halo
+// exchange goes over the reliable channel protocol with interior
+// compute overlapped with in-flight boundary traffic; every reduction
+// is a deterministic rank-ordered AllReduce, so all ranks follow the
+// identical iteration trajectory.
+//
+// Velocity nodes follow the comm.Layout ownership boxes. P1disc
+// pressure dofs are element-local (4 per element at indices [4e,4e+4)),
+// so pressure needs no halo at all: a rank fully owns the pressure rows
+// of its elements.
+
+// RankStats reports one rank's communication volume for a distributed
+// solve — the per-rank columns behind the Tables II/III scaling runs.
+type RankStats struct {
+	Rank       int   `json:"rank"`
+	HaloMsgs   int64 `json:"halo_msgs"`
+	HaloBytes  int64 `json:"halo_bytes"`
+	AllReduces int64 `json:"allreduces"`
+	Retries    int64 `json:"retries"`
+}
+
+// errSink records the first asynchronous failure of a rank's solve
+// (exchange errors cannot surface through krylov.Op.Apply).
+type errSink struct{ err error }
+
+func (s *errSink) note(err error) {
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+}
+
+// distOp is one rank's view of the coupled operator J = [[A,G],[D,0]].
+// The viscous block is applied matrix-free over the rank's elements
+// with boundary elements first, so their nodal partial sums are in
+// flight while interior elements — and the entirely element-local G and
+// D blocks — are computed (§II-D latency hiding).
+type distOp struct {
+	op   *Op
+	ten  *fem.TensorOp
+	dist *comm.Dist
+	sink *errSink
+}
+
+// N returns the coupled dimension.
+func (o *distOp) N() int { return o.op.N() }
+
+// Apply computes y = J·x, valid on this rank's owned+ghost velocity
+// rows and owned pressure rows.
+func (o *distOp) Apply(x, y la.Vec) {
+	l := o.dist.L
+	xu, xp := o.op.Split(x)
+	yu, yp := o.op.Split(y)
+	y.Zero()
+	o.ten.ApplyElements(l.Boundary, xu, yu)
+	o.op.C.ApplyGAddElements(l.Boundary, xp, yu)
+	err := o.dist.ReduceBroadcast(yu,
+		func() {
+			o.ten.ApplyElements(l.Interior, xu, yu)
+			o.op.C.ApplyGAddElements(l.Interior, xp, yu)
+			o.op.C.ApplyDElements(l.Elems, xu, yp)
+		},
+		func() { o.identityOwnedRows(xu, yu) })
+	o.sink.note(err)
+}
+
+// identityOwnedRows applies the Dirichlet identity on the constrained
+// velocity rows of the owned node box.
+func (o *distOp) identityOwnedRows(xu, yu la.Vec) {
+	l := o.dist.L
+	mask := o.op.P.BC.Mask
+	b := l.Owned
+	da := l.D.DA
+	for k := b.Lo[2]; k < b.Hi[2]; k++ {
+		for j := b.Lo[1]; j < b.Hi[1]; j++ {
+			row := (k*da.NPy + j) * da.NPx
+			for i := b.Lo[0]; i < b.Hi[0]; i++ {
+				d := 3 * (row + i)
+				for c := 0; c < 3; c++ {
+					if mask[d+c] {
+						yu[d+c] = xu[d+c]
+					}
+				}
+			}
+		}
+	}
+}
+
+// distFieldSplit is the rank-local block lower-triangular
+// preconditioner: a distributed V-cycle on the viscous block, then the
+// element-local Schur update on the rank's own pressure rows.
+type distFieldSplit struct {
+	op  *Op
+	dmg *mg.DistMG
+	mp  *fem.PressureMass
+	l   *comm.Layout
+	tu  la.Vec
+}
+
+// Apply computes z = P⁻¹·r.
+func (fs *distFieldSplit) Apply(r, z la.Vec) {
+	ru, rp := fs.op.Split(r)
+	zu, zp := fs.op.Split(z)
+	fs.dmg.Apply(ru, zu)
+	zp.Zero()
+	fs.op.C.ApplyDElements(fs.l.Elems, zu, fs.tu)
+	for _, e := range fs.l.Elems {
+		for i := 4 * e; i < 4*e+4; i++ {
+			fs.tu[i] = rp[i] - fs.tu[i]
+		}
+	}
+	fs.mp.ApplyInvElements(fs.l.Elems, fs.tu, zp)
+	for _, e := range fs.l.Elems {
+		for i := 4 * e; i < 4*e+4; i++ {
+			zp[i] = -zp[i]
+		}
+	}
+}
+
+// coupledReducer sums each rank's partial inner product — owned
+// velocity box plus the pressure rows of its elements — with a single
+// deterministic AllReduce, so every rank sees the bit-identical global
+// value and the Krylov trajectory stays collective-consistent.
+type coupledReducer struct {
+	op   *Op
+	dist *comm.Dist
+}
+
+// Dot returns the globally reduced coupled inner product.
+func (rd *coupledReducer) Dot(x, y la.Vec) float64 {
+	xu, xp := rd.op.Split(x)
+	yu, yp := rd.op.Split(y)
+	s := rd.dist.L.DotVel(xu, yu)
+	for _, e := range rd.dist.L.Elems {
+		s += xp.DotRange(yp, 4*e, 4*e+4)
+	}
+	return rd.dist.AllReduceSum(s)
+}
+
+// coupledExchanger makes an externally assembled coupled vector
+// halo-consistent: ghost velocity entries are refreshed from their
+// owners; pressure is element-local and needs no exchange.
+type coupledExchanger struct {
+	op   *Op
+	dist *comm.Dist
+}
+
+// Consistent refreshes the velocity ghost region of x.
+func (ex *coupledExchanger) Consistent(x la.Vec) error {
+	xu, _ := ex.op.Split(x)
+	return ex.dist.Broadcast(xu)
+}
+
+// SolveDistributed performs one linear Stokes solve exactly like Solve,
+// but rank-distributed over a px×py×pz world. The correction system
+// J·δ = −F(x) is solved collectively: each rank runs the configured
+// outer method (GCR or FGMRES) on its own vector copy, and the owned
+// pieces of the per-rank corrections are assembled into the global
+// update. Returns rank 0's Result (all ranks follow the identical
+// trajectory) plus the per-rank communication statistics.
+//
+// Requires a geometric multigrid configuration (Levels >= 2) whose
+// per-level decompositions nest: px, py, pz must divide the per-level
+// element counts at every level.
+func (s *Solver) SolveDistributed(x, bu la.Vec, px, py, pz int) (krylov.Result, []RankStats, error) {
+	if s.MG == nil {
+		return krylov.Result{}, nil, fmt.Errorf("stokes: distributed solve requires a geometric multigrid configuration (Levels >= 2)")
+	}
+	nl := len(s.MG.Levels)
+	decomps := make([]*comm.Decomp, nl)
+	for l, lev := range s.MG.Levels {
+		if lev.Prob == nil {
+			return krylov.Result{}, nil, fmt.Errorf("stokes: distributed solve requires geometric levels (level %d is algebraic)", l)
+		}
+		d, err := comm.NewDecomp(lev.Prob.DA, px, py, pz)
+		if err != nil {
+			return krylov.Result{}, nil, fmt.Errorf("stokes: level %d: %w", l, err)
+		}
+		decomps[l] = d
+	}
+	if err := mg.ValidateNestedDecomps(decomps); err != nil {
+		return krylov.Result{}, nil, err
+	}
+
+	// Residual-correction form, as in Solve.
+	n := s.Op.N()
+	f := la.NewVec(n)
+	s.Op.Residual(x, bu, f)
+	f.Scale(-1)
+	delta := la.NewVec(n)
+
+	tel := s.Tel.Child("dist")
+	size := px * py * pz
+	w := comm.NewWorld(size)
+	var (
+		mu      sync.Mutex
+		res     krylov.Result
+		stats   = make([]RankStats, size)
+		rankErr = make([]error, size)
+	)
+	w.Run(func(r *comm.Rank) {
+		sc := tel.Child(fmt.Sprintf("rank%d", r.ID))
+		sink := &errSink{}
+		dists := make([]*comm.Dist, nl)
+		for l := range decomps {
+			dists[l] = comm.NewDist(r, comm.NewLayout(decomps[l], r.ID), sc)
+		}
+		dmg, err := mg.NewDist(s.MG, dists)
+		if err != nil {
+			rankErr[r.ID] = err
+			// Stay collective even on failure: every other rank will
+			// fail the same way, so returning here is safe.
+			return
+		}
+		fine := dists[0]
+		a := &distOp{op: s.Op, ten: fem.NewTensor(s.Prob), dist: fine, sink: sink}
+		m := &distFieldSplit{op: s.Op, dmg: dmg, mp: s.Mp, l: fine.L, tu: la.NewVec(s.Op.Np)}
+		prm := s.Cfg.Params
+		prm.Reducer = &coupledReducer{op: s.Op, dist: fine}
+		prm.Exchanger = &coupledExchanger{op: s.Op, dist: fine}
+		prm.Telemetry = sc.Child("krylov")
+
+		b := f.Clone()
+		d := la.NewVec(n)
+		var rr krylov.Result
+		if s.Cfg.OuterMethod == "fgmres" {
+			rr = krylov.FGMRES(a, m, b, d, prm)
+		} else {
+			rr = krylov.GCR(a, m, b, d, prm, nil)
+		}
+		sink.note(dmg.Err())
+		sink.note(rr.Err)
+
+		// Assemble this rank's owned slice of the correction.
+		du, dp := s.Op.Split(d)
+		gu, gp := s.Op.Split(delta)
+		mu.Lock()
+		box := fine.L.Owned
+		da := fine.L.D.DA
+		for k := box.Lo[2]; k < box.Hi[2]; k++ {
+			for j := box.Lo[1]; j < box.Hi[1]; j++ {
+				row := (k*da.NPy + j) * da.NPx
+				lo, hi := 3*(row+box.Lo[0]), 3*(row+box.Hi[0])
+				copy(gu[lo:hi], du[lo:hi])
+			}
+		}
+		for _, e := range fine.L.Elems {
+			copy(gp[4*e:4*e+4], dp[4*e:4*e+4])
+		}
+		if r.ID == 0 {
+			res = rr
+		}
+		stats[r.ID] = RankStats{
+			Rank:       r.ID,
+			HaloMsgs:   sc.Counter("halo_msgs").Value(),
+			HaloBytes:  sc.Counter("halo_bytes").Value(),
+			AllReduces: sc.Counter("allreduces").Value(),
+			Retries:    sc.Counter("retries").Value(),
+		}
+		rankErr[r.ID] = sink.err
+		mu.Unlock()
+	})
+	for rid, err := range rankErr {
+		if err != nil {
+			return res, stats, fmt.Errorf("stokes: distributed solve, rank %d: %w", rid, err)
+		}
+	}
+	x.AXPY(1, delta)
+	return res, stats, nil
+}

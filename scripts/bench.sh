@@ -1,23 +1,26 @@
 #!/usr/bin/env bash
-# Machine-readable operator benchmark: times every unified-operator
-# backend (internal/op) at each level size and writes BENCH_PR4.json —
-# MDoF/s, best-of apply time and setup time per backend per size, plus
-# the calibrated machine balance the auto-selector seeds from.
+# Machine-readable benchmark for the current PR: runs the
+# rank-distributed Stokes solve over a simulated MPI rank grid and
+# writes BENCH_PR5.json — iterations, time-to-solution, per-rank halo
+# bytes/message/allreduce counts, and the analytic halo-volume
+# prediction of the performance model (ptatin-scaling -ranks -json).
 #
-# Usage: scripts/bench.sh [outfile] [grids] [workers] [reps]
-#   outfile  destination JSON (default BENCH_PR4.json in the repo root)
-#   grids    comma-separated level sizes (default 4,8,12)
-#   workers  worker goroutines (default 0 = runtime.NumCPU())
-#   reps     best-of timing repetitions (default 5)
+# Usage: scripts/bench.sh [outfile] [grids] [ranks]
+#   outfile  destination JSON (default BENCH_PR5.json in the repo root)
+#   grids    comma-separated grid sizes (default 8,16; sizes the rank
+#            grid cannot decompose evenly at every MG level are skipped)
+#   ranks    rank grid PxxPyxPz (default 2x2x1)
+#
+# The previous PR's operator benchmark (BENCH_PR4 schema) remains
+# available via: go run ./cmd/ptatin-opcost -json > BENCH_PR4.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
-grids="${2:-4,8,12}"
-workers="${3:-0}"
-reps="${4:-5}"
+out="${1:-BENCH_PR5.json}"
+grids="${2:-8,16}"
+ranks="${3:-2x2x1}"
 
-go run ./cmd/ptatin-opcost -json -grids "$grids" -workers "$workers" -reps "$reps" > "$out"
+go run ./cmd/ptatin-scaling -json -ranks "$ranks" -grids "$grids" > "$out"
 echo "wrote $out:"
 head -n 12 "$out"

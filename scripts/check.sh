@@ -37,6 +37,9 @@ go test -short -race ./...
 echo "== fault/recovery protocol under -race =="
 go test -race -run 'Fault|Reliable|Migrate|Recv' ./internal/comm ./internal/mpm
 
+echo "== rank-distributed solve under -race =="
+go run -race ./cmd/ptatin-scaling -ranks 2x1x1 -grids 8
+
 echo "== benchmark smoke =="
 go test -run='^$' -bench=Apply -benchtime=1x ./...
 
