@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ptatin3d/internal/cli"
+	"ptatin3d/internal/comm"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/op"
@@ -40,7 +41,11 @@ func main() {
 	deta := flag.Float64("deta", 100, "viscosity contrast")
 	opFlag := flag.String("op", "", "restrict the sweep to one fine-level representation (auto|mf|mfref|asm|galerkin); default sweeps asm, mfref and mf")
 	ranks := flag.String("ranks", "", "run the rank-distributed solve over a PxxPyxPz rank grid (e.g. 2x2x1) instead of the shared-memory sweep")
-	jsonFlag := flag.Bool("json", false, "with -ranks: emit the machine-readable scaling benchmark (BENCH_PR5 schema) and exit")
+	jsonFlag := flag.Bool("json", false, "with -ranks/-sweep: emit the machine-readable scaling benchmark (BENCH_PR5/BENCH_PR6 schema) and exit")
+	sweep := flag.Bool("sweep", false, "run the PR6 weak+strong scaling sweep over 1..512 simulated ranks (pipelined Krylov + coarse agglomeration + fabric model)")
+	sweepMaxRanks := flag.Int("sweep-max-ranks", 512, "with -sweep: skip sweep points above this rank count (bounded smoke runs)")
+	pipelined := flag.Bool("pipelined", true, "with -sweep: use the single-reduce pipelined Krylov variants")
+	aggRoots := flag.Int("agg", 8, "with -sweep: agglomerate the coarse solve onto this many roots (clamped to the rank count; 0 = legacy all-to-rank-0 gather)")
 	telFlag := flag.Bool("telemetry", false, "emit the per-run telemetry table + JSON after the sweep")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
@@ -60,6 +65,10 @@ func main() {
 		defer fem.SetTelemetry(nil)
 	}
 
+	if *sweep {
+		runSweepMode(*deta, *jsonFlag, *sweepMaxRanks, *pipelined, *aggRoots)
+		return
+	}
 	if *ranks != "" {
 		gridList, err := cli.ParseInts(*grids)
 		if err != nil {
@@ -69,7 +78,7 @@ func main() {
 		return
 	}
 	if *jsonFlag {
-		log.Fatal("ptatin-scaling: -json requires -ranks (the BENCH_PR5 schema covers the rank-distributed solve)")
+		log.Fatal("ptatin-scaling: -json requires -ranks or -sweep (the BENCH_PR5/PR6 schemas cover the rank-distributed solve)")
 	}
 
 	counts := map[string]perfmodel.OpCounts{}
@@ -308,4 +317,205 @@ func runRanksMode(grids []int, ranksSpec string, deta float64, emitJSON bool) {
 			log.Fatal(err)
 		}
 	}
+}
+
+// sweepRecord is one (mode, rank-grid, grid) measurement in the
+// BENCH_PR6 schema: the latency-tolerant configuration of the
+// rank-distributed solve (pipelined single-reduce Krylov, agglomerated
+// coarse solve, α–β fabric model) at scaling-sweep rank counts. Per-rank
+// detail is summarised (max over ranks) — at 512 ranks the full list
+// drowns the document.
+type sweepRecord struct {
+	Mode         string  `json:"mode"` // "weak" | "strong"
+	M            int     `json:"m"`
+	Ranks        string  `json:"ranks"`
+	NRanks       int     `json:"nranks"`
+	Pipelined    bool    `json:"pipelined"`
+	CoarseRoots  int     `json:"coarse_roots"`
+	Iterations   int     `json:"iterations"`
+	Converged    bool    `json:"converged"`
+	SetupMs      float64 `json:"setup_ms"`
+	SolveMs      float64 `json:"solve_ms"`
+	ElemPerCoreS float64 `json:"elem_per_core_s"`
+	// AllReducesMax is the per-rank allreduce count (max over ranks);
+	// ARPerIt is that count divided by the outer iterations — the
+	// pipelined variants hold it near 1 where the classical recurrences
+	// need 2+ (the headline latency win of the PR).
+	AllReducesMax int64   `json:"allreduces_max"`
+	ARPerIt       float64 `json:"allreduce_per_iteration"`
+	HaloBytesMax  int64   `json:"halo_bytes_max"`
+	HaloMsgsMax   int64   `json:"halo_msgs_max"`
+	RetriesTotal  int64   `json:"retries_total"`
+	PredHaloBytes float64 `json:"predicted_halo_bytes_per_exchange"`
+	// Modeled fabric time (max over ranks, ns) split by operation class:
+	// the α–β interconnect cost that would dominate at real scale.
+	FabricHaloNsMax      int64 `json:"fabric_halo_ns_max"`
+	FabricAllReduceNsMax int64 `json:"fabric_allreduce_ns_max"`
+	FabricCoarseNsMax    int64 `json:"fabric_coarse_ns_max"`
+}
+
+// sweepPoint is one configuration of the PR6 sweep.
+type sweepPoint struct {
+	mode       string
+	px, py, pz int
+	g          int
+}
+
+// sweepPoints returns the PR6 sweep: weak scaling holds 2 elements per
+// rank per axis (the whole problem grows with the machine), strong
+// scaling holds the 16^3 grid fixed while the rank grid grows — both
+// over 1, 8, 64, 512 ranks. Every grid nests 2:1 under its rank grid at
+// both hierarchy levels, so the distributed V-cycle decomposes evenly.
+func sweepPoints() []sweepPoint {
+	return []sweepPoint{
+		{"weak", 1, 1, 1, 2}, {"weak", 2, 2, 2, 4}, {"weak", 4, 4, 4, 8}, {"weak", 8, 8, 8, 16},
+		{"strong", 1, 1, 1, 16}, {"strong", 2, 2, 2, 16}, {"strong", 4, 4, 4, 16}, {"strong", 8, 8, 8, 16},
+	}
+}
+
+// runSweepMode runs the PR6 weak+strong scaling sweep with the
+// latency-tolerant solver configuration and emits the BENCH_PR6 table
+// (and, with -json, the machine-readable document). Identical
+// (rank-grid, grid) configurations — the 512-rank corner is shared by
+// both scaling curves — are solved once and reported under both modes.
+func runSweepMode(deta float64, emitJSON bool, maxRanks int, pipelined bool, aggRoots int) {
+	if !emitJSON {
+		fmt.Printf("# PR6 scaling sweep (pipelined=%v, agg roots<=%d, fabric=alpha-beta; cores = ranks)\n",
+			pipelined, aggRoots)
+		fmt.Printf("%-6s %-6s %-7s %6s %4s %12s %10s %6s | %12s %12s %12s\n",
+			"mode", "grid", "ranks", "nranks", "its", "solve(s)", "E/C/s", "AR/it",
+			"fab-halo(ms)", "fab-AR(ms)", "fab-crs(ms)")
+	}
+	type cacheKey struct {
+		px, py, pz, g int
+	}
+	cache := map[cacheKey]*sweepRecord{}
+	var records []sweepRecord
+	for _, pt := range sweepPoints() {
+		nr := pt.px * pt.py * pt.pz
+		if nr > maxRanks {
+			if !emitJSON {
+				fmt.Printf("%-6s %-6d %-7s SKIP: above -sweep-max-ranks=%d\n",
+					pt.mode, pt.g, fmt.Sprintf("%dx%dx%d", pt.px, pt.py, pt.pz), maxRanks)
+			} else {
+				log.Printf("sweep %s grid %d %dx%dx%d: SKIP: above -sweep-max-ranks=%d",
+					pt.mode, pt.g, pt.px, pt.py, pt.pz, maxRanks)
+			}
+			continue
+		}
+		key := cacheKey{pt.px, pt.py, pt.pz, pt.g}
+		rec := cache[key]
+		if rec == nil {
+			rec = sweepOne(pt, deta, pipelined, aggRoots, emitJSON)
+			cache[key] = rec
+		}
+		if rec == nil {
+			continue
+		}
+		r := *rec
+		r.Mode = pt.mode
+		records = append(records, r)
+		if !emitJSON {
+			fmt.Printf("%-6s %-6d %-7s %6d %4d %12.3f %10.0f %6.2f | %12.1f %12.1f %12.1f\n",
+				r.Mode, r.M, r.Ranks, r.NRanks, r.Iterations, r.SolveMs/1e3,
+				r.ElemPerCoreS, r.ARPerIt,
+				float64(r.FabricHaloNsMax)/1e6, float64(r.FabricAllReduceNsMax)/1e6,
+				float64(r.FabricCoarseNsMax)/1e6)
+		}
+	}
+	if emitJSON {
+		doc := struct {
+			Schema    string        `json:"schema"`
+			Pipelined bool          `json:"pipelined"`
+			AggRoots  int           `json:"agg_roots"`
+			Results   []sweepRecord `json:"results"`
+		}{Schema: "BENCH_PR6", Pipelined: pipelined, AggRoots: aggRoots, Results: records}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// sweepOne solves one sweep point and summarises it (nil on skip/fail).
+func sweepOne(pt sweepPoint, deta float64, pipelined bool, aggRoots int, emitJSON bool) *sweepRecord {
+	nr := pt.px * pt.py * pt.pz
+	ranksSpec := fmt.Sprintf("%dx%dx%d", pt.px, pt.py, pt.pz)
+	o := model.DefaultSinkerOptions()
+	o.M = pt.g
+	o.DeltaEta = deta
+	o.Workers = 1
+	mdl := model.NewSinker(o)
+	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
+
+	cfg := mdl.Cfg
+	cfg.Workers = 1
+	cfg.FineKind = op.Tensor
+	cfg.Params.MaxIt = 1000
+	cfg.CoeffCoarsen = mdl.CoeffCoarsener()
+	// Two geometric levels everywhere: the coarsest level's g/2 elements
+	// per axis must still host the rank grid (nesting requires every
+	// level to decompose), and the whole sweep should run one hierarchy
+	// shape so the scaling curves compare like against like.
+	cfg.Levels = 2
+
+	setupStart := time.Now()
+	s, err := stokes.New(mdl.Prob, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup := time.Since(setupStart)
+
+	roots := aggRoots
+	if roots > nr {
+		roots = nr
+	}
+	opt := stokes.DistOptions{
+		Pipelined:   pipelined,
+		CoarseRoots: roots,
+		Fabric:      perfmodel.DefaultFabric(),
+		// Oversubscribed worlds (512 goroutines per host core) deliver
+		// acks slowly without anything being wrong: a generous
+		// per-attempt timeout keeps spurious retransmissions out of the
+		// measurement, and the poll-slice cap in comm keeps discovery
+		// latency flat regardless.
+		Policy: comm.RetryPolicy{Timeout: 2 * time.Second, MaxRetries: 8, Backoff: 1.5},
+	}
+
+	bu := la.NewVec(mdl.Prob.DA.NVelDOF())
+	fem.MomentumRHS(mdl.Prob, bu)
+	x := la.NewVec(s.Op.N())
+	solveStart := time.Now()
+	res, stats, err := s.SolveDistributedOpt(x, bu, pt.px, pt.py, pt.pz, opt)
+	solve := time.Since(solveStart).Seconds()
+	if err != nil || !res.Converged {
+		if emitJSON {
+			log.Printf("sweep %s grid %d ranks %s: FAILED (its=%d, err=%v)", pt.mode, pt.g, ranksSpec, res.Iterations, err)
+		} else {
+			fmt.Printf("%-6s %-6d %-7s FAILED (its=%d, err=%v)\n", pt.mode, pt.g, ranksSpec, res.Iterations, err)
+		}
+		return nil
+	}
+	rec := &sweepRecord{
+		M: pt.g, Ranks: ranksSpec, NRanks: nr,
+		Pipelined: pipelined, CoarseRoots: roots,
+		Iterations: res.Iterations, Converged: true,
+		SetupMs: setup.Seconds() * 1e3, SolveMs: solve * 1e3,
+		ElemPerCoreS:  float64(pt.g*pt.g*pt.g) / float64(nr) / solve,
+		PredHaloBytes: perfmodel.HaloExchangeBytes(perfmodel.MaxGhostNodes(pt.g, pt.g, pt.g, pt.px, pt.py, pt.pz)),
+	}
+	for _, st := range stats {
+		rec.AllReducesMax = max(rec.AllReducesMax, st.AllReduces)
+		rec.HaloBytesMax = max(rec.HaloBytesMax, st.HaloBytes)
+		rec.HaloMsgsMax = max(rec.HaloMsgsMax, st.HaloMsgs)
+		rec.RetriesTotal += st.Retries
+		rec.FabricHaloNsMax = max(rec.FabricHaloNsMax, st.FabricHaloNs)
+		rec.FabricAllReduceNsMax = max(rec.FabricAllReduceNsMax, st.FabricAllReduceNs)
+		rec.FabricCoarseNsMax = max(rec.FabricCoarseNsMax, st.FabricCoarseNs)
+	}
+	if res.Iterations > 0 {
+		rec.ARPerIt = float64(rec.AllReducesMax) / float64(res.Iterations)
+	}
+	return rec
 }

@@ -24,6 +24,14 @@ type World struct {
 	fault  *FaultPlan
 	policy RetryPolicy
 
+	// fabric, when non-nil, prices every simulated interconnect
+	// operation (halo message, allreduce, coarse gather) in modeled
+	// nanoseconds, accumulated into fabric_* telemetry counters by the
+	// Dist collectives. Pure accounting: no sleeps are injected, so
+	// runs stay deterministic and fast while the modeled cost grows
+	// with rank count the way a real fabric's would.
+	fabric FabricModel
+
 	bmu    sync.Mutex
 	bcond  *sync.Cond
 	bcount int
@@ -73,6 +81,25 @@ func (w *World) FaultPlan() *FaultPlan { return w.fault }
 // SetRetryPolicy sets the default retry policy used by exchange callers
 // that consult Rank.Policy. The zero policy means DefaultRetryPolicy.
 func (w *World) SetRetryPolicy(p RetryPolicy) { w.policy = p }
+
+// FabricModel prices simulated interconnect operations in nanoseconds.
+// perfmodel.Fabric provides the standard α–β (latency/bandwidth)
+// implementation.
+type FabricModel interface {
+	// MsgNs returns the modeled cost of one point-to-point message of
+	// the given payload size.
+	MsgNs(bytes int) int64
+	// AllReduceNs returns the modeled cost of one allreduce of width
+	// float64 values over the given rank count.
+	AllReduceNs(ranks, width int) int64
+}
+
+// SetFabric installs an interconnect cost model consulted by the Dist
+// collectives. Must be called before Run; pass nil to disable.
+func (w *World) SetFabric(f FabricModel) { w.fabric = f }
+
+// Fabric returns the installed interconnect cost model (nil = off).
+func (w *World) Fabric() FabricModel { return w.fabric }
 
 // Run executes body as an SPMD region: one goroutine per rank, returning
 // when all ranks have finished.
@@ -211,20 +238,89 @@ func (r *Rank) AllReduceMax(x float64) float64 {
 	return r.recvSkipEnvelopes(0).(float64)
 }
 
-// recvSkipEnvelopes receives from rank `from`, discarding (or stashing)
-// reliable-exchange protocol envelopes that a failed or late exchange
-// may have left in the mailbox, so mixed use of the legacy collectives
-// and the hardened exchange paths cannot mistype a message.
+// strayEnvelope answers a protocol envelope received outside any active
+// exchange (during a raw collective, or from a rank that is not a
+// neighbour of the current exchange). Mirrors PendingExchange.handle
+// for a rank with no exchange in flight: early data is stashed for the
+// next exchange to adopt, late retransmissions are re-acked — the peer
+// missed our ack and would otherwise burn its whole retry budget
+// against our silence — and resend requests are served from the send
+// history. Stale acks need no action.
+func (r *Rank) strayEnvelope(env envelope) {
+	switch env.Kind {
+	case envData:
+		if env.Seq >= r.seq {
+			r.stashPut(env)
+		} else {
+			r.sendEnvelope(env.From, envelope{Kind: envAck, Seq: env.Seq, From: r.ID})
+		}
+	case envResend:
+		if sent, ok := r.hist[env.Seq]; ok {
+			r.sendEnvelope(env.From, r.dataEnvelope(env.Seq, sent[env.From]))
+		}
+	}
+}
+
+// drainStray empties every other rank's mailbox without blocking
+// (except skip, which the caller is receiving from directly), answering
+// protocol envelopes via strayEnvelope and queueing bare payloads for a
+// later Recv. Called while a rank lingers in a raw collective so that
+// retransmitting peers — who may not be neighbours of any current
+// exchange and whose mailboxes nothing else drains — still make
+// progress (found by the 64-rank fault-injection soak: round-varying
+// neighbour graphs starve a retransmitter whose ack was dropped).
+func (r *Rank) drainStray(skip int) {
+	for from := 0; from < r.W.size; from++ {
+		if from == r.ID || from == skip {
+			continue
+		}
+		for {
+			var v interface{}
+			ok := false
+			select {
+			case v = <-r.W.mail[r.ID][from]:
+				ok = true
+			default:
+			}
+			if !ok {
+				break
+			}
+			if env, isEnv := v.(envelope); isEnv {
+				r.strayEnvelope(env)
+			} else {
+				r.oobPut(from, v)
+			}
+		}
+	}
+}
+
+// recvSkipEnvelopes receives from rank `from`, answering (or stashing)
+// reliable-exchange protocol envelopes that a late or retransmitting
+// exchange may interleave with raw collective traffic, so mixed use of
+// the collectives and the hardened exchange paths cannot mistype a
+// message — or starve a peer. While blocked on `from` it periodically
+// drains every other mailbox: a rank can sit in a tree allreduce for a
+// long time, and peers retransmitting into it (lost ack, corrupt
+// payload) must be answered from here or they exhaust their retries.
 func (r *Rank) recvSkipEnvelopes(from int) interface{} {
 	for {
-		v := r.Recv(from)
-		env, ok := v.(envelope)
-		if !ok {
+		var v interface{}
+		if q := r.oob[from]; len(q) > 0 {
+			v = q[0]
+			r.oob[from] = q[1:]
+		} else {
+			var ok bool
+			v, ok = r.RecvTimeout(from, strayPollInterval)
+			if !ok {
+				r.drainStray(from)
+				continue
+			}
+		}
+		env, isEnv := v.(envelope)
+		if !isEnv {
 			return v
 		}
-		if env.Kind == envData && env.Seq >= r.seq {
-			r.stashPut(env)
-		}
+		r.strayEnvelope(env)
 	}
 }
 

@@ -3,7 +3,6 @@ package comm
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"ptatin3d/internal/telemetry"
 )
@@ -30,10 +29,22 @@ func NewDist(r *Rank, l *Layout, sc *telemetry.Scope) *Dist {
 	return &Dist{R: r, L: l, Pol: r.Policy(), Sc: sc}
 }
 
-// countPacket accounts one outgoing halo packet.
+// countPacket accounts one outgoing halo packet, charging the modeled
+// fabric cost when an interconnect model is installed.
 func (d *Dist) countPacket(pk *haloPacket) {
+	bytes := 4*len(pk.Node) + 8*len(pk.Val)
 	d.Sc.Counter("halo_msgs").Inc()
-	d.Sc.Counter("halo_bytes").Add(int64(4*len(pk.Node) + 8*len(pk.Val)))
+	d.Sc.Counter("halo_bytes").Add(int64(bytes))
+	if f := d.R.W.fabric; f != nil {
+		d.Sc.Counter("fabric_halo_ns").Add(f.MsgNs(bytes))
+	}
+}
+
+// chargeCoarse accounts modeled fabric time for a coarse-solve message.
+func (d *Dist) chargeCoarse(bytes int) {
+	if f := d.R.W.fabric; f != nil {
+		d.Sc.Counter("fabric_coarse_ns").Add(f.MsgNs(bytes))
+	}
 }
 
 // vecPacket carries a full vector (root broadcast of the coarse solve).
@@ -139,34 +150,16 @@ func (d *Dist) Broadcast(y []float64) error {
 }
 
 // AllReduceSum returns the global sum of x with a deterministic
-// rank-ordered reduction: partials are gathered to rank 0 and summed in
-// ascending rank order, and the one result is broadcast, so every rank
-// sees the bit-identical value regardless of goroutine scheduling
-// (unlike Rank.AllReduceSum, which sums in arrival order). This is the
-// channel-backed AllReduce under every distributed dot product/norm.
+// reduction: every rank sees the bit-identical value regardless of
+// goroutine scheduling (unlike Rank.AllReduceSum, which sums in arrival
+// order). Implemented on the width-1 binomial tree of AllReduceSumVec —
+// O(log P) depth with the exact ascending-rank summation order of the
+// original serial gather. This is the channel-backed AllReduce under
+// every distributed dot product/norm.
 func (d *Dist) AllReduceSum(x float64) float64 {
-	start := time.Now()
-	defer func() {
-		d.Sc.Counter("allreduces").Inc()
-		d.Sc.Timer("allreduce").Observe(time.Since(start))
-	}()
-	r := d.R
-	size := r.W.Size()
-	if size == 1 {
-		return x
-	}
-	if r.ID == 0 {
-		s := x
-		for from := 1; from < size; from++ {
-			s += r.recvSkipEnvelopes(from).(float64)
-		}
-		for to := 1; to < size; to++ {
-			r.Send(to, s)
-		}
-		return s
-	}
-	r.Send(0, x)
-	return r.recvSkipEnvelopes(0).(float64)
+	var buf [1]float64
+	buf[0] = x
+	return d.AllReduceSumVec(buf[:])[0]
 }
 
 // GatherSolveBroadcast runs a root-rank coarse solve: every rank ships

@@ -1,5 +1,7 @@
 package comm
 
+import "ptatin3d/internal/la"
+
 // Layout is the per-rank node-ownership geometry of a Decomp, the basis
 // of the rank-distributed vector layout (owned + ghost entries): which
 // Q2 nodes this rank owns, which ghost nodes it reads from neighbours,
@@ -101,7 +103,8 @@ type Layout struct {
 	Ghost     map[int][]int32
 	Mirror    map[int][]int32
 
-	ownedNodes []int32 // cached Owned enumeration (lazy)
+	ownedNodes []int32   // cached Owned enumeration (lazy)
+	velSpans   []la.Span // cached VelSpans result (lazy)
 }
 
 // NewLayout computes rank r's layout under d.
@@ -162,6 +165,34 @@ func (l *Layout) OwnedNodes() []int32 {
 		l.ownedNodes = l.nodeList(l.Owned)
 	}
 	return l.ownedNodes
+}
+
+// VelSpans returns the velocity-dof index windows of this rank's
+// owned+ghost (Ext) node box — one span per contiguous run of dofs,
+// adjacent rows merged (cached). These are the index ranges a
+// rank-windowed Krylov solve must keep valid; everything outside them
+// is another rank's territory and is never touched, which keeps
+// per-rank BLAS-1 work and resident memory O(n/P) at high rank counts.
+func (l *Layout) VelSpans() []la.Span {
+	if l.velSpans != nil {
+		return l.velSpans
+	}
+	b := l.Ext
+	da := l.D.DA
+	spans := make([]la.Span, 0, (b.Hi[2]-b.Lo[2])*(b.Hi[1]-b.Lo[1]))
+	for k := b.Lo[2]; k < b.Hi[2]; k++ {
+		for j := b.Lo[1]; j < b.Hi[1]; j++ {
+			row := (k*da.NPy + j) * da.NPx
+			lo, hi := 3*(row+b.Lo[0]), 3*(row+b.Hi[0])
+			if n := len(spans); n > 0 && spans[n-1].Hi == lo {
+				spans[n-1].Hi = hi
+			} else {
+				spans = append(spans, la.Span{Lo: lo, Hi: hi})
+			}
+		}
+	}
+	l.velSpans = spans
+	return spans
 }
 
 // OwnsNode reports whether this rank owns node id n.

@@ -35,6 +35,23 @@ func TestNewDecompRejectsBadShapes(t *testing.T) {
 	if _, err := NewDecomp(da, 4, 3, 2); err != nil {
 		t.Fatalf("maximal valid decomposition rejected: %v", err)
 	}
+
+	// The issue's canonical oversubscription: 16 ranks on an 8-element
+	// axis (an otherwise plausible 512-rank-era configuration) must be
+	// rejected along every axis.
+	da8 := mesh.New(8, 8, 8, 0, 1, 0, 1, 0, 1)
+	for _, c := range []struct{ px, py, pz int }{
+		{16, 1, 1}, {1, 16, 1}, {1, 1, 16}, {16, 16, 16},
+	} {
+		_, err := NewDecomp(da8, c.px, c.py, c.pz)
+		var de *DecompError
+		if !errors.As(err, &de) {
+			t.Fatalf("NewDecomp(%dx%dx%d) on 8x8x8 grid: want *DecompError, got %v", c.px, c.py, c.pz, err)
+		}
+	}
+	if _, err := NewDecomp(da8, 8, 8, 8); err != nil {
+		t.Fatalf("8x8x8 ranks on 8x8x8 elements must be accepted: %v", err)
+	}
 }
 
 // TestNodeOwnershipProperty: randomized-decomp property test. For every

@@ -109,6 +109,11 @@ func (r *Rank) dataEnvelope(seq int64, payload interface{}) envelope {
 	return env
 }
 
+// strayPollInterval is how long a rank blocked inside a raw collective
+// waits on its expected sender before sweeping every other mailbox for
+// stray protocol traffic (see Rank.drainStray).
+const strayPollInterval = time.Millisecond
+
 // RecvTimeout waits up to d for a message from rank `from`.
 func (r *Rank) RecvTimeout(from int, d time.Duration) (interface{}, bool) {
 	select {
@@ -305,10 +310,23 @@ func (px *PendingExchange) Wait() (map[int]interface{}, error) {
 	r, sc := px.r, px.sc
 	timeout := px.pol.Timeout
 	attempts := 0
+	nbr := make(map[int]bool, len(px.neighbors))
+	for _, n := range px.neighbors {
+		nbr[n] = true
+	}
 	for {
+		// The per-neighbour poll slice is decoupled from the retry
+		// timeout: a generous timeout (right for oversubscribed worlds,
+		// where acks are slow without anything being wrong) must not
+		// inflate the round-robin polling latency — a message from the
+		// last neighbour polled would otherwise sit for most of a slice
+		// × every silent neighbour ahead of it.
 		slice := timeout / time.Duration(4*len(px.neighbors)+1)
 		if slice < 200*time.Microsecond {
 			slice = 200 * time.Microsecond
+		}
+		if slice > 2*time.Millisecond {
+			slice = 2 * time.Millisecond
 		}
 		deadline := time.Now().Add(timeout)
 		for (len(px.pending) > 0 || len(px.unacked) > 0) && time.Now().Before(deadline) {
@@ -321,6 +339,34 @@ func (px *PendingExchange) Wait() (map[int]interface{}, error) {
 						// already finished this exchange and moved on —
 						// keep it for the collective's own Recv.
 						r.oobPut(n, v)
+					}
+				}
+			}
+			// Neighbour graphs may differ between exchanges: a peer that
+			// was our neighbour last round can still be retransmitting
+			// data whose ack we dropped, and nothing else drains its
+			// mailbox while we sit here. Sweep non-neighbour mailboxes
+			// without blocking; handle() re-acks old-seq data and serves
+			// resends, which is exactly what a starved peer needs.
+			for from := 0; from < r.W.size; from++ {
+				if from == r.ID || nbr[from] {
+					continue
+				}
+				for {
+					var v interface{}
+					ok := false
+					select {
+					case v = <-r.W.mail[r.ID][from]:
+						ok = true
+					default:
+					}
+					if !ok {
+						break
+					}
+					if env, isEnv := v.(envelope); isEnv {
+						px.handle(env)
+					} else {
+						r.oobPut(from, v)
 					}
 				}
 			}

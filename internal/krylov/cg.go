@@ -7,7 +7,14 @@ import "ptatin3d/internal/la"
 // exit. It is used for the viscous block inside Schur complement reduction
 // and as the inexact coarse-grid solver of the rifting configuration
 // (paper §V-A: CG preconditioned with ASM).
+// With prm.Pipelined set on a rank-collective solve (Reducer != nil)
+// the single-reduce Chronopoulos–Gear variant runs instead (see
+// pipeline.go); without a Reducer the flag is ignored and the serial
+// path below runs bit-for-bit.
 func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
+	if prm.Pipelined && prm.Reducer != nil {
+		return pipeCG(a, m, b, x, prm)
+	}
 	n := a.N()
 	r := la.NewVec(n)
 	z := la.NewVec(n)
@@ -22,7 +29,7 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 		return res
 	}
 	a.Apply(x, r)
-	r.AYPX(-1, b) // r = b - A·x
+	prm.vaypx(r, -1, b) // r = b - A·x
 	res := Result{Residual0: prm.norm2(r)}
 	rn := res.Residual0
 	res.record(prm, rn)
@@ -40,7 +47,7 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 	}
 	stag := newStagGuard(prm)
 	m.Apply(r, z)
-	p.Copy(z)
+	prm.vcopy(p, z)
 	rz := prm.dot(r, z)
 	for it := 1; it <= prm.MaxIt; it++ {
 		a.Apply(p, ap)
@@ -54,8 +61,8 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 			break
 		}
 		alpha := rz / den
-		x.AXPY(alpha, p)
-		r.AXPY(-alpha, ap)
+		prm.vaxpy(x, alpha, p)
+		prm.vaxpy(r, -alpha, ap)
 		rn = prm.norm2(r)
 		res.Iterations = it
 		res.record(prm, rn)
@@ -79,7 +86,7 @@ func CG(a Op, m Preconditioner, b, x la.Vec, prm Params) Result {
 		rzNew := prm.dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
-		p.AYPX(beta, z)
+		prm.vaypx(p, beta, z)
 	}
 	res.Residual = rn
 	res.finish(prm, telStart)
@@ -101,7 +108,7 @@ func Richardson(a Op, m Preconditioner, b, x la.Vec, omega float64, prm Params) 
 		return res
 	}
 	a.Apply(x, r)
-	r.AYPX(-1, b)
+	prm.vaypx(r, -1, b)
 	res := Result{Residual0: prm.norm2(r)}
 	rn := res.Residual0
 	res.record(prm, rn)
@@ -111,9 +118,9 @@ func Richardson(a Op, m Preconditioner, b, x la.Vec, omega float64, prm Params) 
 			break
 		}
 		m.Apply(r, z)
-		x.AXPY(omega, z)
+		prm.vaxpy(x, omega, z)
 		a.Apply(x, r)
-		r.AYPX(-1, b)
+		prm.vaypx(r, -1, b)
 		rn = prm.norm2(r)
 		res.Iterations = it
 		res.record(prm, rn)

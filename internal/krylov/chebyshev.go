@@ -13,6 +13,15 @@ type Chebyshev struct {
 	M      Preconditioner
 	Lo, Hi float64 // target interval; the paper uses [0.2λmax, 1.1λmax]
 	Steps  int     // iterations per Smooth call
+
+	// Spans, when non-empty, windows the smoother's BLAS-1 updates to
+	// the listed index ranges (a rank's owned+ghost rows) and reuses
+	// per-instance work vectors across Smooth calls, keeping per-rank
+	// work and touched memory O(n/P) on the distributed path. A spanned
+	// Chebyshev is NOT safe for concurrent Smooth calls — distributed
+	// solves give each rank its own instance.
+	Spans []la.Span
+	work  [4]la.Vec
 }
 
 // NewChebyshev builds a smoother targeting [0.2λ, 1.1λ] as in the paper,
@@ -25,27 +34,64 @@ func NewChebyshev(a Op, m Preconditioner, lambdaMax float64, steps int) *Chebysh
 // place. zeroGuess skips the initial operator application when x = 0.
 func (c *Chebyshev) Smooth(b, x la.Vec, zeroGuess bool) {
 	n := c.A.N()
-	r := la.NewVec(n)
-	z := la.NewVec(n)
-	p := la.NewVec(n)
-	ap := la.NewVec(n)
+	var r, z, p, ap la.Vec
+	if len(c.Spans) > 0 {
+		// Windowed path: cached work vectors (see Spans doc).
+		if c.work[0] == nil || len(c.work[0]) != n {
+			for i := range c.work {
+				c.work[i] = la.NewVec(n)
+			}
+		}
+		r, z, p, ap = c.work[0], c.work[1], c.work[2], c.work[3]
+	} else {
+		r, z, p, ap = la.NewVec(n), la.NewVec(n), la.NewVec(n), la.NewVec(n)
+	}
+	sp := c.Spans
+	vcopy := func(dst, src la.Vec) {
+		if sp != nil {
+			dst.CopySpans(src, sp)
+		} else {
+			dst.Copy(src)
+		}
+	}
+	vzero := func(v la.Vec) {
+		if sp != nil {
+			v.ZeroSpans(sp)
+		} else {
+			v.Zero()
+		}
+	}
+	vaxpy := func(v la.Vec, a float64, x la.Vec) {
+		if sp != nil {
+			v.AXPYSpans(a, x, sp)
+		} else {
+			v.AXPY(a, x)
+		}
+	}
+	vaypx := func(v la.Vec, a float64, x la.Vec) {
+		if sp != nil {
+			v.AYPXSpans(a, x, sp)
+		} else {
+			v.AYPX(a, x)
+		}
+	}
 
 	d := (c.Hi + c.Lo) / 2
 	half := (c.Hi - c.Lo) / 2
 
 	if zeroGuess {
-		r.Copy(b)
-		x.Zero()
+		vcopy(r, b)
+		vzero(x)
 	} else {
 		c.A.Apply(x, r)
-		r.AYPX(-1, b)
+		vaypx(r, -1, b)
 	}
 	var alpha, beta float64
 	for i := 0; i < c.Steps; i++ {
 		c.M.Apply(r, z)
 		switch i {
 		case 0:
-			p.Copy(z)
+			vcopy(p, z)
 			alpha = 1 / d
 		default:
 			if i == 1 {
@@ -54,11 +100,11 @@ func (c *Chebyshev) Smooth(b, x la.Vec, zeroGuess bool) {
 				beta = (half * alpha / 2) * (half * alpha / 2)
 			}
 			alpha = 1 / (d - beta/alpha)
-			p.AYPX(beta, z)
+			vaypx(p, beta, z)
 		}
-		x.AXPY(alpha, p)
+		vaxpy(x, alpha, p)
 		c.A.Apply(p, ap)
-		r.AXPY(-alpha, ap)
+		vaxpy(r, -alpha, ap)
 	}
 }
 

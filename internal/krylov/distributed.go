@@ -37,6 +37,16 @@ type Exchanger interface {
 	Consistent(x la.Vec) error
 }
 
+// BatchReducer extends Reducer with a fused reduction: DotBatch returns
+// the globally reduced inner products dot(xs[i], ys[i]) for all pairs
+// using a single collective operation, so a pipelined Krylov iteration
+// pays one allreduce latency instead of one per inner product. Like Dot,
+// the returned values must be bit-identical on every rank.
+type BatchReducer interface {
+	Reducer
+	DotBatch(xs, ys []la.Vec) []float64
+}
+
 // dot returns the (possibly rank-collective) inner product.
 func (p Params) dot(x, y la.Vec) float64 {
 	if p.Reducer != nil {
@@ -51,6 +61,92 @@ func (p Params) norm2(x la.Vec) float64 {
 		return math.Sqrt(p.Reducer.Dot(x, x))
 	}
 	return x.Norm2()
+}
+
+// dots returns the (possibly rank-collective) inner products of the
+// vector pairs (xs[i], ys[i]). With a BatchReducer all pairs reduce in
+// one collective; with a plain Reducer each pair reduces separately;
+// with no Reducer the serial products are returned.
+func (p Params) dots(xs, ys []la.Vec) []float64 {
+	if br, ok := p.Reducer.(BatchReducer); ok {
+		return br.DotBatch(xs, ys)
+	}
+	out := make([]float64, len(xs))
+	if p.Reducer != nil {
+		for i := range xs {
+			out[i] = p.Reducer.Dot(xs[i], ys[i])
+		}
+		return out
+	}
+	for i := range xs {
+		out[i] = xs[i].Dot(ys[i])
+	}
+	return out
+}
+
+// windowed reports whether BLAS-1 updates should be restricted to the
+// rank's spans (distributed solve with a span list).
+func (p Params) windowed() bool { return p.Reducer != nil && len(p.Spans) > 0 }
+
+// The v* helpers below are the solver-internal BLAS-1 kernels: full
+// length on the shared-memory path, span-windowed on a distributed
+// solve that set Params.Spans.
+
+func (p Params) vaxpy(v la.Vec, alpha float64, x la.Vec) {
+	if p.windowed() {
+		v.AXPYSpans(alpha, x, p.Spans)
+		return
+	}
+	v.AXPY(alpha, x)
+}
+
+func (p Params) vaypx(v la.Vec, alpha float64, x la.Vec) {
+	if p.windowed() {
+		v.AYPXSpans(alpha, x, p.Spans)
+		return
+	}
+	v.AYPX(alpha, x)
+}
+
+func (p Params) vwaxpy(v la.Vec, alpha float64, x, y la.Vec) {
+	if p.windowed() {
+		v.WAXPYSpans(alpha, x, y, p.Spans)
+		return
+	}
+	v.WAXPY(alpha, x, y)
+}
+
+func (p Params) vcopy(dst, src la.Vec) {
+	if p.windowed() {
+		dst.CopySpans(src, p.Spans)
+		return
+	}
+	dst.Copy(src)
+}
+
+func (p Params) vscale(v la.Vec, alpha float64) {
+	if p.windowed() {
+		v.ScaleSpans(alpha, p.Spans)
+		return
+	}
+	v.Scale(alpha)
+}
+
+func (p Params) vzero(v la.Vec) {
+	if p.windowed() {
+		v.ZeroSpans(p.Spans)
+		return
+	}
+	v.Zero()
+}
+
+func (p Params) vclone(v la.Vec) la.Vec {
+	if p.windowed() {
+		w := la.NewVec(len(v))
+		w.CopySpans(v, p.Spans)
+		return w
+	}
+	return v.Clone()
 }
 
 // hasNaN runs the full-vector NaN scan only on the shared-memory path:

@@ -14,7 +14,15 @@ import (
 //
 // Callback, when non-nil, receives the iteration number and the current
 // residual vector after every step (used to log per-field residual norms).
+//
+// With prm.Pipelined set on a rank-collective solve (Reducer != nil)
+// the single-reduce classical-Gram–Schmidt variant runs instead (see
+// pipeline.go); without a Reducer the flag is ignored and the serial
+// path below runs bit-for-bit.
 func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, r la.Vec)) Result {
+	if prm.Pipelined && prm.Reducer != nil {
+		return pipeGCR(a, m, b, x, prm, callback)
+	}
 	n := a.N()
 	mr := prm.restart()
 	telStart := prm.begin()
@@ -26,7 +34,7 @@ func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, 
 		return res
 	}
 	a.Apply(x, r)
-	r.AYPX(-1, b)
+	prm.vaypx(r, -1, b)
 	res := Result{Residual0: prm.norm2(r)}
 	rn := res.Residual0
 	res.record(prm, rn)
@@ -58,19 +66,19 @@ func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, 
 		// Orthogonalize q against previous directions (modified GS).
 		for i := range qs {
 			beta := prm.dot(q, qs[i])
-			q.AXPY(-beta, qs[i])
-			z.AXPY(-beta, zs[i])
+			prm.vaxpy(q, -beta, qs[i])
+			prm.vaxpy(z, -beta, zs[i])
 		}
 		qn := prm.norm2(q)
 		if qn == 0 {
 			res.fail(prm, "gcr", BreakdownZeroPivot, it, qn)
 			break
 		}
-		q.Scale(1 / qn)
-		z.Scale(1 / qn)
+		prm.vscale(q, 1/qn)
+		prm.vscale(z, 1/qn)
 		alpha := prm.dot(r, q)
-		x.AXPY(alpha, z)
-		r.AXPY(-alpha, q)
+		prm.vaxpy(x, alpha, z)
+		prm.vaxpy(r, -alpha, q)
 		rn = prm.norm2(r)
 		res.Iterations = it
 		res.record(prm, rn)
@@ -98,8 +106,8 @@ func GCR(a Op, m Preconditioner, b, x la.Vec, prm Params, callback func(it int, 
 			zs = zs[:0]
 			qs = qs[:0]
 		}
-		zs = append(zs, z.Clone())
-		qs = append(qs, q.Clone())
+		zs = append(zs, prm.vclone(z))
+		qs = append(qs, prm.vclone(q))
 	}
 	res.Residual = rn
 	res.finish(prm, telStart)

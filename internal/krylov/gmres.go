@@ -12,13 +12,29 @@ import (
 // iterations (paper §III-A: required when the preconditioner contains
 // inner iterations). With flexible=false the update is reconstructed as
 // M⁻¹(V·y), which assumes a fixed linear M.
+//
+// With prm.Pipelined set on a rank-collective solve (Reducer != nil)
+// the Arnoldi orthogonalization switches from modified Gram–Schmidt
+// (j+2 reductions per iteration) to reorthogonalized classical
+// Gram–Schmidt — CGS2, "twice is enough" — with the norm recurrence
+// h_{j+1,j}² = (w,w) − Σᵢ h_{ij}²: exactly TWO batched reductions per
+// iteration regardless of the Krylov dimension j (see pipeline.go). A
+// single CGS pass would be one reduction, but its orthogonality decays
+// like ε·(‖r₀‖/‖r_j‖)², so the Givens residual estimate stagnates near
+// √ε relative and convergence past ~1e-8 is never detected; the second
+// pass restores ε-level orthogonality and classical convergence. The
+// Givens residual recurrence itself needs no further reductions.
 func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) Result {
 	n := a.N()
 	mr := prm.restart()
 	telStart := prm.begin()
+	pipe := prm.Pipelined && prm.Reducer != nil
 	method := "gmres"
 	if flexible {
 		method = "fgmres"
+	}
+	if pipe {
+		method = "pipe" + method
 	}
 
 	if err := prm.consistent(x, b); err != nil {
@@ -30,7 +46,7 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 	r := la.NewVec(n)
 	w := la.NewVec(n)
 	a.Apply(x, r)
-	r.AYPX(-1, b)
+	prm.vaypx(r, -1, b)
 	res := Result{Residual0: prm.norm2(r)}
 	rn := res.Residual0
 	res.record(prm, rn)
@@ -64,12 +80,17 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 	sn := make([]float64, mr)
 	g := make([]float64, mr+1)
 	zt := la.NewVec(n)
+	var xs, ys []la.Vec
+	if pipe {
+		xs = make([]la.Vec, 0, mr+2)
+		ys = make([]la.Vec, 0, mr+2)
+	}
 
 	it := 0
 	for it < prm.MaxIt {
 		// Start/restart the Arnoldi process from the current residual.
 		a.Apply(x, r)
-		r.AYPX(-1, b)
+		prm.vaypx(r, -1, b)
 		beta := prm.norm2(r)
 		if k := badNorm(beta); k != 0 {
 			res.fail(prm, method, k, it, beta)
@@ -81,8 +102,8 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 			rn = beta
 			break
 		}
-		v[0].Copy(r)
-		v[0].Scale(1 / beta)
+		prm.vcopy(v[0], r)
+		prm.vscale(v[0], 1/beta)
 		for i := range g {
 			g[i] = 0
 		}
@@ -98,17 +119,47 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 				m.Apply(v[j], zt)
 				a.Apply(zt, w)
 			}
-			// Modified Gram–Schmidt.
-			for i := 0; i <= j; i++ {
-				hij := prm.dot(w, v[i])
-				h[i*mr+j] = hij
-				w.AXPY(-hij, v[i])
+			var hj1 float64
+			if pipe {
+				// CGS2: two passes of classical Gram–Schmidt, each ONE
+				// batched reduction [(w,v_0)…(w,v_j), (w,w)]. A single pass
+				// would be one reduction, but its orthogonality decays like
+				// ε·(‖r₀‖/‖r_j‖)², stalling the Givens residual estimate
+				// near √ε relative; the second pass removes the O(ε)
+				// residue, and the norm recurrence h² = (w,w) − Σ(w,vᵢ)² is
+				// then evaluated on the second pass's tiny coefficients,
+				// where cancellation is harmless.
+				for i := 0; i <= j; i++ {
+					h[i*mr+j] = 0 // column may hold a previous restart cycle
+				}
+				for pass := 0; pass < 2; pass++ {
+					xs, ys = xs[:0], ys[:0]
+					for i := 0; i <= j; i++ {
+						xs, ys = append(xs, w), append(ys, v[i])
+					}
+					xs, ys = append(xs, w), append(ys, w)
+					d := prm.dots(xs, ys)
+					rec := d[j+1]
+					for i := 0; i <= j; i++ {
+						h[i*mr+j] += d[i]
+						prm.vaxpy(w, -d[i], v[i])
+						rec -= d[i] * d[i]
+					}
+					hj1 = math.Sqrt(math.Max(rec, 0))
+				}
+			} else {
+				// Modified Gram–Schmidt.
+				for i := 0; i <= j; i++ {
+					hij := prm.dot(w, v[i])
+					h[i*mr+j] = hij
+					prm.vaxpy(w, -hij, v[i])
+				}
+				hj1 = prm.norm2(w)
 			}
-			hj1 := prm.norm2(w)
 			h[(j+1)*mr+j] = hj1
 			if hj1 != 0 {
-				v[j+1].Copy(w)
-				v[j+1].Scale(1 / hj1)
+				prm.vcopy(v[j+1], w)
+				prm.vscale(v[j+1], 1/hj1)
 			}
 			// Apply accumulated Givens rotations to the new column.
 			for i := 0; i < j; i++ {
@@ -158,16 +209,16 @@ func gmresCore(a Op, m Preconditioner, b, x la.Vec, prm Params, flexible bool) R
 		}
 		if flexible {
 			for i := 0; i < j; i++ {
-				x.AXPY(y[i], z[i])
+				prm.vaxpy(x, y[i], z[i])
 			}
 		} else {
-			zt.Zero()
+			prm.vzero(zt)
 			for i := 0; i < j; i++ {
-				zt.AXPY(y[i], v[i])
+				prm.vaxpy(zt, y[i], v[i])
 			}
 			u := la.NewVec(n)
 			m.Apply(zt, u)
-			x.AXPY(1, u)
+			prm.vaxpy(x, 1, u)
 		}
 		if res.Converged || res.Breakdown {
 			break

@@ -88,6 +88,22 @@ type Params struct {
 	// application reads consistent halos. Nil disables the exchange.
 	Exchanger Exchanger
 
+	// Pipelined selects the single-reduce variants of CG, FGMRES and GCR
+	// (Chronopoulos–Gear recurrences / classical Gram–Schmidt with norm
+	// recurrences; see pipeline.go): every iteration folds all of its
+	// inner products into one batched reduction through the Reducer. It
+	// only takes effect with a non-nil Reducer — with Reducer == nil the
+	// flag is ignored and the solve runs the serial path bit-for-bit.
+	Pipelined bool
+	// Spans, when non-empty on a rank-collective solve (Reducer != nil),
+	// windows every BLAS-1 update inside the solver to the listed index
+	// ranges — a rank's owned+ghost rows — so per-rank vector work and
+	// touched memory stay O(n/P) instead of O(n) at high rank counts.
+	// Entries outside the spans are never read or written by the solver
+	// itself (operators and preconditioners keep their own windows).
+	// Ignored when Reducer == nil.
+	Spans []la.Span
+
 	// Telemetry, when non-nil, receives structured solve instrumentation:
 	// a "residual" series with one sample per recorded residual norm, a
 	// "solve" timer, "solves"/"iterations"/"converged" counters and

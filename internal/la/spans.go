@@ -1,0 +1,94 @@
+package la
+
+// Span is a half-open index window [Lo, Hi) into a Vec. Rank-distributed
+// solves carry a list of spans describing the owned+ghost rows of a
+// rank's full-length vector copy, so BLAS-1 work (and the pages actually
+// touched) stay O(n/P) per rank even though every rank allocates
+// full-length vectors for index compatibility.
+type Span struct{ Lo, Hi int }
+
+// SpanLen returns the total number of indices covered by the spans.
+func SpanLen(spans []Span) int {
+	n := 0
+	for _, s := range spans {
+		n += s.Hi - s.Lo
+	}
+	return n
+}
+
+// ZeroSpans zeroes v on the spans.
+func (v Vec) ZeroSpans(spans []Span) {
+	for _, s := range spans {
+		w := v[s.Lo:s.Hi]
+		for i := range w {
+			w[i] = 0
+		}
+	}
+}
+
+// CopySpans copies src into v on the spans.
+func (v Vec) CopySpans(src Vec, spans []Span) {
+	for _, s := range spans {
+		copy(v[s.Lo:s.Hi], src[s.Lo:s.Hi])
+	}
+}
+
+// ScaleSpans multiplies v by alpha on the spans.
+func (v Vec) ScaleSpans(alpha float64, spans []Span) {
+	for _, s := range spans {
+		w := v[s.Lo:s.Hi]
+		for i := range w {
+			w[i] *= alpha
+		}
+	}
+}
+
+// SetSpans fills v with alpha on the spans.
+func (v Vec) SetSpans(alpha float64, spans []Span) {
+	for _, s := range spans {
+		w := v[s.Lo:s.Hi]
+		for i := range w {
+			w[i] = alpha
+		}
+	}
+}
+
+// AXPYSpans computes v += alpha*x on the spans.
+func (v Vec) AXPYSpans(alpha float64, x Vec, spans []Span) {
+	for _, s := range spans {
+		w, u := v[s.Lo:s.Hi], x[s.Lo:s.Hi]
+		for i := range w {
+			w[i] += alpha * u[i]
+		}
+	}
+}
+
+// AYPXSpans computes v = alpha*v + x on the spans.
+func (v Vec) AYPXSpans(alpha float64, x Vec, spans []Span) {
+	for _, s := range spans {
+		w, u := v[s.Lo:s.Hi], x[s.Lo:s.Hi]
+		for i := range w {
+			w[i] = alpha*w[i] + u[i]
+		}
+	}
+}
+
+// WAXPYSpans computes v = alpha*x + y on the spans.
+func (v Vec) WAXPYSpans(alpha float64, x, y Vec, spans []Span) {
+	for _, s := range spans {
+		w, u, t := v[s.Lo:s.Hi], x[s.Lo:s.Hi], y[s.Lo:s.Hi]
+		for i := range w {
+			w[i] = alpha*u[i] + t[i]
+		}
+	}
+}
+
+// PointwiseMultSpans computes v = a.*b on the spans.
+func (v Vec) PointwiseMultSpans(a, b Vec, spans []Span) {
+	for _, s := range spans {
+		w, p, q := v[s.Lo:s.Hi], a[s.Lo:s.Hi], b[s.Lo:s.Hi]
+		for i := range w {
+			w[i] = p[i] * q[i]
+		}
+	}
+}

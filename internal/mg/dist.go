@@ -56,6 +56,7 @@ type distLevel struct {
 	op       krylov.Op // distributed operator (halo-exchanging)
 	smoother *krylov.Chebyshev
 	prob     *fem.Problem
+	spans    []la.Span // velocity-dof windows of the rank's ext box
 	r, e, bc la.Vec
 }
 
@@ -65,10 +66,24 @@ type distLevel struct {
 // field-split unchanged. Exchange failures cannot surface through
 // Preconditioner.Apply, so they are recorded sticky: check Err after
 // the solve.
+//
+// All per-level vector work is windowed to the rank's owned+ghost index
+// spans: vectors are still allocated full length (index compatibility
+// with the shared hierarchy), but only the rank's own pages are ever
+// touched, keeping per-rank V-cycle work O(n/P) at 64–512 ranks.
 type DistMG struct {
 	base *MG
 	lev  []*distLevel
+	agg  *comm.Agg
 	err  error
+}
+
+// DistOptions tunes a distributed V-cycle view.
+type DistOptions struct {
+	// Agg, when non-nil, agglomerates the coarsest-level solve onto the
+	// block roots of the given layout (redundant subset solves) instead
+	// of gathering everything to rank 0. Must be sized for the world.
+	Agg *comm.Agg
 }
 
 // distOpErr records the first exchange failure (sticky).
@@ -89,10 +104,11 @@ func (m *DistMG) Err() error { return m.err }
 // partials are in flight, Dirichlet identity on owned rows after the
 // reduction, owner totals broadcast back to ghosts.
 type haloTensorOp struct {
-	mg   *DistMG
-	dist *comm.Dist
-	ten  *fem.TensorOp
-	mask []bool
+	mg    *DistMG
+	dist  *comm.Dist
+	ten   *fem.TensorOp
+	mask  []bool
+	spans []la.Span
 }
 
 // N returns the velocity-dof dimension.
@@ -101,7 +117,7 @@ func (o *haloTensorOp) N() int { return o.ten.N() }
 // Apply computes the distributed y = A·x (valid on owned+ghost rows).
 func (o *haloTensorOp) Apply(x, y la.Vec) {
 	l := o.dist.L
-	y.Zero()
+	y.ZeroSpans(o.spans)
 	o.ten.ApplyElements(l.Boundary, x, y)
 	err := o.dist.ReduceBroadcast(y,
 		func() { o.ten.ApplyElements(l.Interior, x, y) },
@@ -135,9 +151,10 @@ func identityOwnedRows(l *comm.Layout, mask []bool, x, y la.Vec) {
 // ghost (Ext) region covers every column an owned row references, so no
 // reduction is needed — one one-sided exchange per apply.
 type haloCSROp struct {
-	mg   *DistMG
-	dist *comm.Dist
-	a    *la.CSR
+	mg    *DistMG
+	dist  *comm.Dist
+	a     *la.CSR
+	spans []la.Span
 }
 
 // N returns the row dimension.
@@ -146,7 +163,7 @@ func (o *haloCSROp) N() int { return o.a.NRows }
 // Apply computes the distributed y = A·x.
 func (o *haloCSROp) Apply(x, y la.Vec) {
 	l := o.dist.L
-	y.Zero()
+	y.ZeroSpans(o.spans)
 	b := l.Owned
 	da := l.D.DA
 	for k := b.Lo[2]; k < b.Hi[2]; k++ {
@@ -170,23 +187,38 @@ func (o *haloCSROp) Apply(x, y la.Vec) {
 // interval and Jacobi diagonal, so all ranks — and the shared solve —
 // run the identical smoother recurrence.
 func NewDist(base *MG, dists []*comm.Dist) (*DistMG, error) {
+	return NewDistOpts(base, dists, DistOptions{})
+}
+
+// NewDistOpts is NewDist with coarse-solve agglomeration options.
+func NewDistOpts(base *MG, dists []*comm.Dist, opt DistOptions) (*DistMG, error) {
 	if len(dists) != len(base.Levels) {
 		return nil, fmt.Errorf("mg: %d dist handles for %d levels", len(dists), len(base.Levels))
 	}
-	m := &DistMG{base: base}
+	if opt.Agg != nil && len(dists) > 0 && opt.Agg.Size != dists[0].R.W.Size() {
+		return nil, fmt.Errorf("mg: agglomeration sized for %d ranks on a %d-rank world",
+			opt.Agg.Size, dists[0].R.W.Size())
+	}
+	m := &DistMG{base: base, agg: opt.Agg}
 	for l, lev := range base.Levels {
 		if lev.Prob == nil {
 			return nil, fmt.Errorf("mg: level %d has no problem (algebraic level)", l)
 		}
-		dl := &distLevel{dist: dists[l], prob: lev.Prob}
+		dl := &distLevel{dist: dists[l], prob: lev.Prob, spans: dists[l].L.VelSpans()}
 		if csr := lev.Op.CSR(); csr != nil {
-			dl.op = &haloCSROp{mg: m, dist: dists[l], a: csr}
+			dl.op = &haloCSROp{mg: m, dist: dists[l], a: csr, spans: dl.spans}
 		} else {
 			dl.op = &haloTensorOp{mg: m, dist: dists[l],
-				ten: fem.NewTensor(lev.Prob), mask: lev.Prob.BC.Mask}
+				ten: fem.NewTensor(lev.Prob), mask: lev.Prob.BC.Mask, spans: dl.spans}
 		}
 		sm := lev.Smoother
-		dl.smoother = &krylov.Chebyshev{A: dl.op, M: sm.M, Lo: sm.Lo, Hi: sm.Hi, Steps: sm.Steps}
+		// The smoother's Jacobi diagonal is shared read-only; wrap it in
+		// a windowed instance so the smoother's BLAS stays O(n/P) too.
+		msm := sm.M
+		if jac, ok := msm.(*krylov.Jacobi); ok {
+			msm = &krylov.Jacobi{InvDiag: jac.InvDiag, Spans: dl.spans}
+		}
+		dl.smoother = &krylov.Chebyshev{A: dl.op, M: msm, Lo: sm.Lo, Hi: sm.Hi, Steps: sm.Steps, Spans: dl.spans}
 		n := lev.Op.N()
 		dl.r, dl.e, dl.bc = la.NewVec(n), la.NewVec(n), la.NewVec(n)
 		m.lev = append(m.lev, dl)
@@ -197,7 +229,7 @@ func NewDist(base *MG, dists []*comm.Dist) (*DistMG, error) {
 // Apply runs the distributed V-cycle preconditioner z ≈ A⁻¹·r
 // (rank-collective; all ranks must call it in lockstep).
 func (m *DistMG) Apply(r, z la.Vec) {
-	z.Zero()
+	z.ZeroSpans(m.lev[0].spans)
 	for c := 0; c < max(1, m.base.CyclesPerApply); c++ {
 		m.vcycle(0, r, z, c == 0)
 	}
@@ -206,52 +238,72 @@ func (m *DistMG) Apply(r, z la.Vec) {
 func (m *DistMG) vcycle(l int, b, x la.Vec, zeroGuess bool) {
 	dl := m.lev[l]
 	if l == len(m.lev)-1 {
-		m.coarsest(dl, b, x, zeroGuess)
+		m.coarsest(l, b, x, zeroGuess)
 		return
 	}
 	// Pre-smooth.
 	dl.smoother.Smooth(b, x, zeroGuess)
 	// Residual and restriction.
 	dl.op.Apply(x, dl.r)
-	dl.r.AYPX(-1, b)
+	dl.r.AYPXSpans(-1, b, dl.spans)
 	next := m.lev[l+1]
-	m.noteErr(distRestrict(m.base.Levels[l+1].P, dl.dist.L, next.dist, dl.r, next.bc))
+	m.noteErr(distRestrict(m.base.Levels[l+1].P, dl.dist.L, next.dist, dl.r, next.bc, next.spans))
 	// Coarse correction.
 	gamma := m.base.Gamma
 	if gamma < 1 {
 		gamma = 1
 	}
-	next.e.Zero()
+	next.e.ZeroSpans(next.spans)
 	m.vcycle(l+1, next.bc, next.e, true)
 	for g := 1; g < gamma; g++ {
 		m.vcycle(l+1, next.bc, next.e, false)
 	}
 	distProlong(m.base.Levels[l+1].P, dl.dist.L, next.e, dl.e)
-	x.AXPY(1, dl.e)
+	x.AXPYSpans(1, dl.e, dl.spans)
 	// Post-smooth.
 	dl.smoother.Smooth(b, x, false)
 }
 
-// coarsest gathers the coarse right-hand side to rank 0, applies the
-// shared coarse solver there, and broadcasts the correction.
-func (m *DistMG) coarsest(dl *distLevel, b, x la.Vec, zeroGuess bool) {
+// coarsest solves the coarsest level collectively: without an Agg
+// layout, gather the right-hand side to rank 0, apply the shared
+// coarse solver there, and broadcast; with one, funnel to the block
+// roots and solve redundantly on each (comm.AggGatherSolveBroadcast),
+// idle clients pre-zeroing the finer level's correction buffer — the
+// next write target after the coarse solve — while the roots work.
+func (m *DistMG) coarsest(l int, b, x la.Vec, zeroGuess bool) {
+	dl := m.lev[l]
 	if m.base.CoarseSolve == nil {
 		dl.smoother.Smooth(b, x, zeroGuess)
 		return
 	}
+	var overlap func()
+	if l > 0 {
+		finer := m.lev[l-1]
+		overlap = func() { finer.e.ZeroSpans(finer.spans) }
+	}
+	gather := func(rhs, sol la.Vec) error {
+		if m.agg != nil {
+			return dl.dist.AggGatherSolveBroadcast(m.agg, rhs, sol, func() {
+				// Several block roots run the shared solver redundantly
+				// and concurrently; serialize (identical answers).
+				m.base.coarseMu.Lock()
+				m.base.CoarseSolve.Apply(rhs, sol)
+				m.base.coarseMu.Unlock()
+			}, overlap)
+		}
+		return dl.dist.GatherSolveBroadcast(rhs, sol, func() {
+			m.base.CoarseSolve.Apply(rhs, sol)
+		})
+	}
 	if zeroGuess {
-		m.noteErr(dl.dist.GatherSolveBroadcast(b, x, func() {
-			m.base.CoarseSolve.Apply(b, x)
-		}))
+		m.noteErr(gather(b, x))
 		return
 	}
 	// Correction form for a nonzero guess (γ > 1 revisits).
 	dl.op.Apply(x, dl.r)
-	dl.r.AYPX(-1, b)
-	m.noteErr(dl.dist.GatherSolveBroadcast(dl.r, dl.e, func() {
-		m.base.CoarseSolve.Apply(dl.r, dl.e)
-	}))
-	x.AXPY(1, dl.e)
+	dl.r.AYPXSpans(-1, b, dl.spans)
+	m.noteErr(gather(dl.r, dl.e))
+	x.AXPYSpans(1, dl.e, dl.spans)
 }
 
 // distRestrict computes the rank's share of rc = Pᵀ·rf: scatter from
@@ -260,7 +312,7 @@ func (m *DistMG) coarsest(dl *distLevel, b, x la.Vec, zeroGuess bool) {
 // partials and broadcast totals — the same halo pattern as an operator
 // apply. Coarse constrained rows are zeroed on their owners before the
 // return broadcast, mirroring the serial ApplyTranspose.
-func distRestrict(p *Prolongation, fine *comm.Layout, coarse *comm.Dist, rf, rc la.Vec) error {
+func distRestrict(p *Prolongation, fine *comm.Layout, coarse *comm.Dist, rf, rc la.Vec, cspans []la.Span) error {
 	f, c := p.Fine, p.Coarse
 	var cmask, fmask []bool
 	if p.CoarseBC != nil {
@@ -269,7 +321,9 @@ func distRestrict(p *Prolongation, fine *comm.Layout, coarse *comm.Dist, rf, rc 
 	if p.FineBC != nil {
 		fmask = p.FineBC.Mask
 	}
-	rc.Zero()
+	// The coarse stencil of the fine owned box lies inside the coarse
+	// ext box (nested decompositions), so windowed zeroing suffices.
+	rc.ZeroSpans(cspans)
 	b := fine.Owned
 	for k := b.Lo[2]; k < b.Hi[2]; k++ {
 		k0, k1, wk0, wk1 := stencil1D(k)
@@ -358,7 +412,8 @@ func distProlong(p *Prolongation, fine *comm.Layout, uc, uf la.Vec) {
 	if p.FineBC != nil {
 		fmask = p.FineBC.Mask
 	}
-	uf.Zero()
+	// No zeroing: the loop below assigns every node of the ext box, and
+	// entries outside it are never read on the windowed path.
 	b := fine.Ext
 	for k := b.Lo[2]; k < b.Hi[2]; k++ {
 		k0, k1, wk0, wk1 := stencil1D(k)

@@ -2,6 +2,7 @@ package mg
 
 import (
 	"fmt"
+	"sync"
 
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/krylov"
@@ -46,6 +47,13 @@ type MG struct {
 	cycles  *telemetry.Counter // V-cycles started
 	coarseT *telemetry.Timer   // coarse-solve wall time
 	coarseC *telemetry.Counter // coarse-solve applications
+
+	// coarseMu serializes redundant agglomerated coarse solves: the
+	// shared CoarseSolve may hold internal work state, and with
+	// agglomeration several rank goroutines apply it concurrently
+	// (identical inputs). On the one-core simulation host serializing
+	// costs nothing; each root still gets the identical answer.
+	coarseMu sync.Mutex
 }
 
 // levelTel caches one level's telemetry handles. The zero value (all nil)

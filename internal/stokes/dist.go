@@ -29,12 +29,35 @@ import (
 
 // RankStats reports one rank's communication volume for a distributed
 // solve — the per-rank columns behind the Tables II/III scaling runs.
+// The Fabric*Ns columns are modeled interconnect nanoseconds (zero
+// unless a fabric model is installed): halo packets, allreduce hops and
+// coarse-solve funneling priced by the α–β model of perfmodel.Fabric.
 type RankStats struct {
-	Rank       int   `json:"rank"`
-	HaloMsgs   int64 `json:"halo_msgs"`
-	HaloBytes  int64 `json:"halo_bytes"`
-	AllReduces int64 `json:"allreduces"`
-	Retries    int64 `json:"retries"`
+	Rank              int   `json:"rank"`
+	HaloMsgs          int64 `json:"halo_msgs"`
+	HaloBytes         int64 `json:"halo_bytes"`
+	AllReduces        int64 `json:"allreduces"`
+	Retries           int64 `json:"retries"`
+	FabricHaloNs      int64 `json:"fabric_halo_ns,omitempty"`
+	FabricAllReduceNs int64 `json:"fabric_allreduce_ns,omitempty"`
+	FabricCoarseNs    int64 `json:"fabric_coarse_ns,omitempty"`
+}
+
+// DistOptions tunes SolveDistributedOpt beyond the plain
+// SolveDistributed defaults.
+type DistOptions struct {
+	// Pipelined selects the single-reduce Krylov variants: one fused
+	// allreduce per outer iteration instead of one per inner product.
+	Pipelined bool
+	// CoarseRoots > 0 agglomerates the coarsest-level solve onto that
+	// many block roots (comm.Agg); 0 keeps the all-to-rank-0 gather.
+	CoarseRoots int
+	// Fabric, when non-nil, prices every interconnect operation of the
+	// solve in modeled nanoseconds (RankStats.Fabric*Ns).
+	Fabric comm.FabricModel
+	// Policy overrides the world retry policy when non-zero — high rank
+	// counts on few host cores need more generous timeouts.
+	Policy comm.RetryPolicy
 }
 
 // errSink records the first asynchronous failure of a rank's solve
@@ -53,10 +76,11 @@ func (s *errSink) note(err error) {
 // flight while interior elements — and the entirely element-local G and
 // D blocks — are computed (§II-D latency hiding).
 type distOp struct {
-	op   *Op
-	ten  *fem.TensorOp
-	dist *comm.Dist
-	sink *errSink
+	op    *Op
+	ten   *fem.TensorOp
+	dist  *comm.Dist
+	sink  *errSink
+	spans []la.Span // coupled owned+ghost windows; nil = full-length ops
 }
 
 // N returns the coupled dimension.
@@ -68,7 +92,11 @@ func (o *distOp) Apply(x, y la.Vec) {
 	l := o.dist.L
 	xu, xp := o.op.Split(x)
 	yu, yp := o.op.Split(y)
-	y.Zero()
+	if o.spans != nil {
+		y.ZeroSpans(o.spans)
+	} else {
+		y.Zero()
+	}
 	o.ten.ApplyElements(l.Boundary, xu, yu)
 	o.op.C.ApplyGAddElements(l.Boundary, xp, yu)
 	err := o.dist.ReduceBroadcast(yu,
@@ -107,11 +135,12 @@ func (o *distOp) identityOwnedRows(xu, yu la.Vec) {
 // preconditioner: a distributed V-cycle on the viscous block, then the
 // element-local Schur update on the rank's own pressure rows.
 type distFieldSplit struct {
-	op  *Op
-	dmg *mg.DistMG
-	mp  *fem.PressureMass
-	l   *comm.Layout
-	tu  la.Vec
+	op     *Op
+	dmg    *mg.DistMG
+	mp     *fem.PressureMass
+	l      *comm.Layout
+	tu     la.Vec
+	pspans []la.Span // owned pressure windows relative to the pressure part
 }
 
 // Apply computes z = P⁻¹·r.
@@ -119,7 +148,11 @@ func (fs *distFieldSplit) Apply(r, z la.Vec) {
 	ru, rp := fs.op.Split(r)
 	zu, zp := fs.op.Split(z)
 	fs.dmg.Apply(ru, zu)
-	zp.Zero()
+	if fs.pspans != nil {
+		zp.ZeroSpans(fs.pspans)
+	} else {
+		zp.Zero()
+	}
 	fs.op.C.ApplyDElements(fs.l.Elems, zu, fs.tu)
 	for _, e := range fs.l.Elems {
 		for i := 4 * e; i < 4*e+4; i++ {
@@ -145,13 +178,30 @@ type coupledReducer struct {
 
 // Dot returns the globally reduced coupled inner product.
 func (rd *coupledReducer) Dot(x, y la.Vec) float64 {
+	return rd.dist.AllReduceSum(rd.local(x, y))
+}
+
+// DotBatch reduces several coupled inner products with ONE collective
+// (krylov.BatchReducer): the fused reduction under the pipelined Krylov
+// variants, collapsing an iteration's 2–3 allreduces — or a restart
+// cycle's j+2 — into a single latency charge.
+func (rd *coupledReducer) DotBatch(xs, ys []la.Vec) []float64 {
+	part := make([]float64, len(xs))
+	for i := range xs {
+		part[i] = rd.local(xs[i], ys[i])
+	}
+	return rd.dist.AllReduceSumVec(part)
+}
+
+// local computes this rank's partial of the coupled inner product.
+func (rd *coupledReducer) local(x, y la.Vec) float64 {
 	xu, xp := rd.op.Split(x)
 	yu, yp := rd.op.Split(y)
 	s := rd.dist.L.DotVel(xu, yu)
 	for _, e := range rd.dist.L.Elems {
 		s += xp.DotRange(yp, 4*e, 4*e+4)
 	}
-	return rd.dist.AllReduceSum(s)
+	return s
 }
 
 // coupledExchanger makes an externally assembled coupled vector
@@ -180,6 +230,46 @@ func (ex *coupledExchanger) Consistent(x la.Vec) error {
 // per-level decompositions nest: px, py, pz must divide the per-level
 // element counts at every level.
 func (s *Solver) SolveDistributed(x, bu la.Vec, px, py, pz int) (krylov.Result, []RankStats, error) {
+	return s.SolveDistributedOpt(x, bu, px, py, pz, DistOptions{})
+}
+
+// coupledSpans returns the owned+ghost windows of a rank's coupled
+// vector: the velocity rows of the extended node box followed by the
+// pressure rows of the rank's elements (offset by Nu), with adjacent
+// windows merged. Every BLAS-1 op of the rank's Krylov iteration runs
+// only on these windows, keeping per-rank vector work O(n/P).
+func coupledSpans(op *Op, l *comm.Layout) []la.Span {
+	spans := append([]la.Span(nil), l.VelSpans()...)
+	for _, e := range l.Elems {
+		lo, hi := op.Nu+4*e, op.Nu+4*e+4
+		if n := len(spans); n > 0 && spans[n-1].Hi == lo {
+			spans[n-1].Hi = hi
+		} else {
+			spans = append(spans, la.Span{Lo: lo, Hi: hi})
+		}
+	}
+	return spans
+}
+
+// pressureSpans returns the rank's owned pressure windows relative to
+// the pressure part of a coupled vector, merging adjacent elements.
+func pressureSpans(l *comm.Layout) []la.Span {
+	var spans []la.Span
+	for _, e := range l.Elems {
+		lo, hi := 4*e, 4*e+4
+		if n := len(spans); n > 0 && spans[n-1].Hi == lo {
+			spans[n-1].Hi = hi
+		} else {
+			spans = append(spans, la.Span{Lo: lo, Hi: hi})
+		}
+	}
+	return spans
+}
+
+// SolveDistributedOpt is SolveDistributed with latency-tolerance options:
+// pipelined single-reduce Krylov, coarse-solve agglomeration onto a rank
+// subset, a fabric cost model, and a retry-policy override.
+func (s *Solver) SolveDistributedOpt(x, bu la.Vec, px, py, pz int, opt DistOptions) (krylov.Result, []RankStats, error) {
 	if s.MG == nil {
 		return krylov.Result{}, nil, fmt.Errorf("stokes: distributed solve requires a geometric multigrid configuration (Levels >= 2)")
 	}
@@ -208,7 +298,21 @@ func (s *Solver) SolveDistributed(x, bu la.Vec, px, py, pz int) (krylov.Result, 
 
 	tel := s.Tel.Child("dist")
 	size := px * py * pz
+	var agg *comm.Agg
+	if opt.CoarseRoots > 0 {
+		a, err := comm.NewAgg(size, opt.CoarseRoots)
+		if err != nil {
+			return krylov.Result{}, nil, err
+		}
+		agg = a
+	}
 	w := comm.NewWorld(size)
+	if opt.Fabric != nil {
+		w.SetFabric(opt.Fabric)
+	}
+	if opt.Policy != (comm.RetryPolicy{}) {
+		w.SetRetryPolicy(opt.Policy)
+	}
 	var (
 		mu      sync.Mutex
 		res     krylov.Result
@@ -222,7 +326,7 @@ func (s *Solver) SolveDistributed(x, bu la.Vec, px, py, pz int) (krylov.Result, 
 		for l := range decomps {
 			dists[l] = comm.NewDist(r, comm.NewLayout(decomps[l], r.ID), sc)
 		}
-		dmg, err := mg.NewDist(s.MG, dists)
+		dmg, err := mg.NewDistOpts(s.MG, dists, mg.DistOptions{Agg: agg})
 		if err != nil {
 			rankErr[r.ID] = err
 			// Stay collective even on failure: every other rank will
@@ -230,14 +334,22 @@ func (s *Solver) SolveDistributed(x, bu la.Vec, px, py, pz int) (krylov.Result, 
 			return
 		}
 		fine := dists[0]
-		a := &distOp{op: s.Op, ten: fem.NewTensor(s.Prob), dist: fine, sink: sink}
-		m := &distFieldSplit{op: s.Op, dmg: dmg, mp: s.Mp, l: fine.L, tu: la.NewVec(s.Op.Np)}
+		spans := coupledSpans(s.Op, fine.L)
+		a := &distOp{op: s.Op, ten: fem.NewTensor(s.Prob), dist: fine, sink: sink, spans: spans}
+		m := &distFieldSplit{op: s.Op, dmg: dmg, mp: s.Mp, l: fine.L,
+			tu: la.NewVec(s.Op.Np), pspans: pressureSpans(fine.L)}
 		prm := s.Cfg.Params
 		prm.Reducer = &coupledReducer{op: s.Op, dist: fine}
 		prm.Exchanger = &coupledExchanger{op: s.Op, dist: fine}
 		prm.Telemetry = sc.Child("krylov")
+		prm.Pipelined = opt.Pipelined
+		prm.Spans = spans
 
-		b := f.Clone()
+		// Windowed clone: only the owned+ghost entries of the global
+		// residual are ever read by this rank's iteration, so the pages
+		// outside the windows are never touched (or even faulted in).
+		b := la.NewVec(n)
+		b.CopySpans(f, spans)
 		d := la.NewVec(n)
 		var rr krylov.Result
 		if s.Cfg.OuterMethod == "fgmres" {
@@ -268,11 +380,14 @@ func (s *Solver) SolveDistributed(x, bu la.Vec, px, py, pz int) (krylov.Result, 
 			res = rr
 		}
 		stats[r.ID] = RankStats{
-			Rank:       r.ID,
-			HaloMsgs:   sc.Counter("halo_msgs").Value(),
-			HaloBytes:  sc.Counter("halo_bytes").Value(),
-			AllReduces: sc.Counter("allreduces").Value(),
-			Retries:    sc.Counter("retries").Value(),
+			Rank:              r.ID,
+			HaloMsgs:          sc.Counter("halo_msgs").Value(),
+			HaloBytes:         sc.Counter("halo_bytes").Value(),
+			AllReduces:        sc.Counter("allreduces").Value(),
+			Retries:           sc.Counter("retries").Value(),
+			FabricHaloNs:      sc.Counter("fabric_halo_ns").Value(),
+			FabricAllReduceNs: sc.Counter("fabric_allreduce_ns").Value(),
+			FabricCoarseNs:    sc.Counter("fabric_coarse_ns").Value(),
 		}
 		rankErr[r.ID] = sink.err
 		mu.Unlock()

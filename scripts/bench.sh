@@ -1,26 +1,29 @@
 #!/usr/bin/env bash
-# Machine-readable benchmark for the current PR: runs the
-# rank-distributed Stokes solve over a simulated MPI rank grid and
-# writes BENCH_PR5.json — iterations, time-to-solution, per-rank halo
-# bytes/message/allreduce counts, and the analytic halo-volume
-# prediction of the performance model (ptatin-scaling -ranks -json).
+# Machine-readable benchmark for the current PR: runs the weak+strong
+# scaling sweep of the rank-distributed Stokes solve in its
+# latency-tolerant configuration — pipelined single-reduce Krylov,
+# agglomerated coarse solve, alpha-beta fabric model — over 1..512
+# simulated ranks and writes BENCH_PR6.json (ptatin-scaling -sweep
+# -json): iterations, time-to-solution, per-rank allreduces per
+# iteration (the headline: ~1 for the pipelined variants vs 2+
+# classical), halo traffic, and the modeled fabric nanoseconds.
 #
-# Usage: scripts/bench.sh [outfile] [grids] [ranks]
-#   outfile  destination JSON (default BENCH_PR5.json in the repo root)
-#   grids    comma-separated grid sizes (default 8,16; sizes the rank
-#            grid cannot decompose evenly at every MG level are skipped)
-#   ranks    rank grid PxxPyxPz (default 2x2x1)
+# Usage: scripts/bench.sh [outfile] [maxranks]
+#   outfile   destination JSON (default BENCH_PR6.json in the repo root)
+#   maxranks  skip sweep points above this rank count (default 512; the
+#             full 512-rank sweep takes tens of minutes on one core —
+#             pass 64 for a quick bounded run)
 #
-# The previous PR's operator benchmark (BENCH_PR4 schema) remains
-# available via: go run ./cmd/ptatin-opcost -json > BENCH_PR4.json
+# Previous PR benchmarks remain available:
+#   BENCH_PR5: go run ./cmd/ptatin-scaling -json -ranks 2x2x1 -grids 8,16
+#   BENCH_PR4: go run ./cmd/ptatin-opcost -json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
-grids="${2:-8,16}"
-ranks="${3:-2x2x1}"
+out="${1:-BENCH_PR6.json}"
+maxranks="${2:-512}"
 
-go run ./cmd/ptatin-scaling -json -ranks "$ranks" -grids "$grids" > "$out"
+go run ./cmd/ptatin-scaling -sweep -sweep-max-ranks "$maxranks" -json > "$out"
 echo "wrote $out:"
 head -n 12 "$out"

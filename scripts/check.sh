@@ -37,8 +37,17 @@ go test -short -race ./...
 echo "== fault/recovery protocol under -race =="
 go test -race -run 'Fault|Reliable|Migrate|Recv' ./internal/comm ./internal/mpm
 
+echo "== 64-rank fault-injection soak under -race (bounded: -short) =="
+go test -short -race -run 'TestSoakReliableExchange64Ranks' ./internal/comm
+
+echo "== pipelined Krylov + coarse agglomeration under -race =="
+go test -race -run 'TestPipelined|TestDistMGAgg|TestAllReduceSumVec' ./internal/krylov ./internal/mg ./internal/comm
+
 echo "== rank-distributed solve under -race =="
 go run -race ./cmd/ptatin-scaling -ranks 2x1x1 -grids 8
+
+echo "== scaling sweep smoke (bounded rank count) =="
+go run ./cmd/ptatin-scaling -sweep -sweep-max-ranks 8
 
 echo "== benchmark smoke =="
 go test -run='^$' -bench=Apply -benchtime=1x ./...
