@@ -35,6 +35,8 @@ func main() {
 	steps := flag.Int("steps", 5, "time steps (paper: 1500-2000)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = runtime.NumCPU())")
 	opFlag := flag.String("op", "", "fine-level operator representation (auto|mf|mfref|asm|galerkin)")
+	blocked := flag.Bool("blocked", false, "cache-blocked wavefront Chebyshev smoothers (substitutes a resident fine operator inside the hierarchy)")
+	precFlag := flag.String("precision", "", "V-cycle preconditioner precision (f64|f32); the outer Krylov method always iterates in f64")
 	oblique := flag.Bool("oblique", false, "apply z-shortening (BC variant ii)")
 	weak := flag.Float64("weak", 0.05, "lower-crust viscosity (nondim)")
 	snapshot := flag.Bool("snapshot", false, "write Figure 3 VTK output")
@@ -61,6 +63,14 @@ func main() {
 		}
 		fineKind = k
 		m.Cfg.FineKind = k
+	}
+	m.Cfg.Blocked = *blocked
+	if *precFlag != "" {
+		pr, err := op.ParsePrecision(*precFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Cfg.Precision = pr
 	}
 	if *restartFrom != "" {
 		if err := m.LoadCheckpoint(*restartFrom); err != nil {

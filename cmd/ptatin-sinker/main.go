@@ -36,6 +36,8 @@ func main() {
 	rc := flag.Float64("rc", 0.1, "sphere radius")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = runtime.NumCPU())")
 	opFlag := flag.String("op", "", "fine-level operator representation (auto|mf|mfref|asm|galerkin)")
+	blocked := flag.Bool("blocked", false, "cache-blocked wavefront Chebyshev smoothers (substitutes a resident fine operator inside the hierarchy)")
+	precFlag := flag.String("precision", "", "V-cycle preconditioner precision (f64|f32); the outer Krylov method always iterates in f64")
 	fig2 := flag.Bool("fig2", false, "run the Δη robustness study (Figure 2)")
 	stream := flag.Bool("streamlines", false, "write Figure 1 VTK outputs")
 	steps := flag.Int("steps", 0, "time steps to advance")
@@ -81,9 +83,17 @@ func main() {
 		}
 		fineKind = k
 	}
+	prec := op.F64
+	if *precFlag != "" {
+		pr, err := op.ParsePrecision(*precFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prec = pr
+	}
 
 	if *fig2 {
-		runFig2(*m, *nc, *rc, *workers, fineKind, reg)
+		runFig2(*m, *nc, *rc, *workers, fineKind, *blocked, prec, reg)
 		return
 	}
 
@@ -94,6 +104,8 @@ func main() {
 	o.Workers = *workers
 	mdl := model.NewSinker(o)
 	mdl.Cfg.FineKind = fineKind
+	mdl.Cfg.Blocked = *blocked
+	mdl.Cfg.Precision = prec
 	defer func() {
 		if fineKind == op.Auto && mdl.LastStokes != nil {
 			printSelection(mdl.LastStokes.SelectionReport())
@@ -143,7 +155,7 @@ func main() {
 
 // runFig2 reproduces Figure 2: residual equilibration and convergence as
 // a function of the viscosity contrast.
-func runFig2(m, nc int, rc float64, workers int, fineKind op.Kind, reg *telemetry.Registry) {
+func runFig2(m, nc int, rc float64, workers int, fineKind op.Kind, blocked bool, prec op.Precision, reg *telemetry.Registry) {
 	fmt.Println("# Figure 2 reproduction: vertical momentum vs pressure residual")
 	fmt.Println("# columns: delta_eta, iteration, momentum_resid, vertical_resid, pressure_resid")
 	for _, deta := range []float64{1, 1e2, 1e4} {
@@ -164,6 +176,8 @@ func runFig2(m, nc int, rc float64, workers int, fineKind op.Kind, reg *telemetr
 		cfg = mdl.Cfg
 		cfg.Params.MaxIt = 1000
 		cfg.FineKind = fineKind
+		cfg.Blocked = blocked
+		cfg.Precision = prec
 		if reg != nil {
 			cfg.Telemetry = reg.Root().Child(fmt.Sprintf("deta%g", deta))
 		}

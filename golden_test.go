@@ -93,7 +93,7 @@ func solveGolden(t *testing.T, p *fem.Problem, cfg stokes.Config) goldenRecord {
 // sinker3Record solves the 3-sinker configuration (paper §IV-B geometry at
 // reduced resolution, 3 spheres, Δη=100) directly with the production GMG
 // preconditioner.
-func sinker3Record(t *testing.T, kind op.Kind) goldenRecord {
+func sinker3Record(t *testing.T, kind op.Kind, blocked bool, prec op.Precision) goldenRecord {
 	o := model.DefaultSinkerOptions()
 	o.M = 8
 	o.Nc = 3
@@ -103,6 +103,8 @@ func sinker3Record(t *testing.T, kind op.Kind) goldenRecord {
 	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 	cfg := mdl.Cfg
 	cfg.FineKind = kind
+	cfg.Blocked = blocked
+	cfg.Precision = prec
 	cfg.CoeffCoarsen = mdl.CoeffCoarsener()
 	return solveGolden(t, mdl.Prob, cfg)
 }
@@ -211,8 +213,20 @@ func checkGolden(t *testing.T, name string, got goldenRecord, rtol float64) {
 
 // TestGoldenSinker3 is the 3-sinker golden regression run.
 func TestGoldenSinker3(t *testing.T) {
-	rec := sinker3Record(t, op.Tensor)
+	rec := sinker3Record(t, op.Tensor, false, op.F64)
 	checkGolden(t, "golden_sinker3", rec, stokes.DefaultConfig().Params.RTol)
+}
+
+// TestGoldenSinker3F32 is the mixed-precision golden regression run: the
+// same 3-sinker configuration preconditioned by the cache-blocked float32
+// V-cycle. It has its own golden file — the f32 hierarchy legitimately
+// changes the preconditioner, so iteration counts may differ from the f64
+// golden by a hair — but the tolerances are the shared checkGolden ones,
+// so any f32-path regression (divergence, extra cycles, lost smoother
+// applies) trips it.
+func TestGoldenSinker3F32(t *testing.T) {
+	rec := sinker3Record(t, op.Tensor, true, op.F32)
+	checkGolden(t, "golden_sinker3_f32", rec, stokes.DefaultConfig().Params.RTol)
 }
 
 // TestGoldenSinker3Backends re-runs the 3-sinker golden configuration
@@ -226,7 +240,7 @@ func TestGoldenSinker3Backends(t *testing.T) {
 	for _, k := range []op.Kind{op.MFRef, op.Assembled, op.Galerkin} {
 		k := k
 		t.Run(k.String(), func(t *testing.T) {
-			rec := sinker3Record(t, k)
+			rec := sinker3Record(t, k, false, op.F64)
 			checkGolden(t, "golden_sinker3", rec, stokes.DefaultConfig().Params.RTol)
 		})
 	}

@@ -22,6 +22,15 @@ type Chebyshev struct {
 	// solves give each rank its own instance.
 	Spans []la.Span
 	work  [4]la.Vec
+
+	// NoFinalResidual elides the last step's operator application and
+	// residual update: they feed only the residual of a step that never
+	// runs, so x is unchanged while the smoother saves one apply per
+	// Smooth call (two per V-cycle level). The blocked smoother
+	// (fem.BlockedChebyshev) always elides; setting this makes the
+	// unblocked recurrence do the same apply count, which the blocked≡
+	// unblocked equivalence tests rely on.
+	NoFinalResidual bool
 }
 
 // NewChebyshev builds a smoother targeting [0.2λ, 1.1λ] as in the paper,
@@ -103,6 +112,9 @@ func (c *Chebyshev) Smooth(b, x la.Vec, zeroGuess bool) {
 			vaypx(p, beta, z)
 		}
 		vaxpy(x, alpha, p)
+		if c.NoFinalResidual && i == c.Steps-1 {
+			break
+		}
 		c.A.Apply(p, ap)
 		vaxpy(r, -alpha, ap)
 	}

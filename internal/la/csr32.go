@@ -1,0 +1,60 @@
+package la
+
+import (
+	"fmt"
+
+	"ptatin3d/internal/par"
+)
+
+// CSR32 is the reduced-precision companion of CSR: the stored values are
+// float32 while the index structure (RowPtr/ColInd) is shared with the
+// float64 matrix it was converted from. It exists for the mixed-precision
+// smoother path, where an assembled coarse-level operator applied inside
+// an f32 V-cycle preconditioner only needs single-precision values but
+// halves its value-stream bandwidth. Row dot products accumulate in
+// float64, so the only precision loss is the one rounding of each stored
+// entry at conversion time — the outer flexible Krylov method absorbs
+// that perturbation.
+type CSR32 struct {
+	NRows, NCols int
+	RowPtr       []int // shared with the source CSR
+	ColInd       []int // shared with the source CSR
+	Val32        []float32
+}
+
+// NewCSR32 converts a to single-precision values, aliasing its index
+// arrays. The source matrix must not change its sparsity pattern while
+// the CSR32 is in use (value updates require a fresh conversion).
+func NewCSR32(a *CSR) *CSR32 {
+	v := make([]float32, len(a.Val))
+	for i, x := range a.Val {
+		v[i] = float32(x)
+	}
+	return &CSR32{NRows: a.NRows, NCols: a.NCols, RowPtr: a.RowPtr, ColInd: a.ColInd, Val32: v}
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR32) NNZ() int { return len(a.Val32) }
+
+// MulVecRange computes y[i0:i1] = (a*x)[i0:i1], accumulating each row in
+// float64.
+func (a *CSR32) MulVecRange(x, y Vec, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += float64(a.Val32[k]) * x[a.ColInd[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecPar computes y = a*x with rows partitioned over workers,
+// mirroring CSR.MulVecPar.
+func (a *CSR32) MulVecPar(x, y Vec, workers int) {
+	if len(x) != a.NCols || len(y) != a.NRows {
+		panic(fmt.Sprintf("la: CSR32 MulVecPar shape mismatch (%dx%d)*%d->%d", a.NRows, a.NCols, len(x), len(y)))
+	}
+	par.For(workers, a.NRows, func(lo, hi int) {
+		a.MulVecRange(x, y, lo, hi)
+	})
+}

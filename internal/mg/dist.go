@@ -7,6 +7,7 @@ import (
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/krylov"
 	"ptatin3d/internal/la"
+	"ptatin3d/internal/op"
 )
 
 // Rank-distributed multigrid (paper §II-D + §III-C): every rank runs the
@@ -125,6 +126,37 @@ func (o *haloTensorOp) Apply(x, y la.Vec) {
 	o.mg.noteErr(err)
 }
 
+// haloResidentOp is haloTensorOp over the stored-coefficient resident
+// kernel (TensorC/TensorF32 levels): the same fused schedule — boundary
+// elements applied, exchange started, interior elements applied while the
+// partials are in flight — but each element apply streams the
+// precomputed 15-float-per-qp tensors instead of re-deriving metrics, so
+// the overlapped interior work is the cheap kernel the blocked smoother
+// uses. On TensorF32 levels the element arithmetic (and the coefficient
+// stream crossing memory during the overlap window) is float32 while the
+// exchanged partials stay float64.
+type haloResidentOp struct {
+	mg    *DistMG
+	dist  *comm.Dist
+	res   *fem.Resident
+	mask  []bool
+	spans []la.Span
+}
+
+// N returns the velocity-dof dimension.
+func (o *haloResidentOp) N() int { return o.res.N() }
+
+// Apply computes the distributed y = A·x (valid on owned+ghost rows).
+func (o *haloResidentOp) Apply(x, y la.Vec) {
+	l := o.dist.L
+	y.ZeroSpans(o.spans)
+	o.res.ApplyElements(l.Boundary, x, y)
+	err := o.dist.ReduceBroadcast(y,
+		func() { o.res.ApplyElements(l.Interior, x, y) },
+		func() { identityOwnedRows(l, o.mask, x, y) })
+	o.mg.noteErr(err)
+}
+
 // identityOwnedRows applies the Dirichlet identity y[d] = x[d] on the
 // constrained rows of the rank's owned node box.
 func identityOwnedRows(l *comm.Layout, mask []bool, x, y la.Vec) {
@@ -207,6 +239,9 @@ func NewDistOpts(base *MG, dists []*comm.Dist, opt DistOptions) (*DistMG, error)
 		dl := &distLevel{dist: dists[l], prob: lev.Prob, spans: dists[l].L.VelSpans()}
 		if csr := lev.Op.CSR(); csr != nil {
 			dl.op = &haloCSROp{mg: m, dist: dists[l], a: csr, spans: dl.spans}
+		} else if res := op.ResidentOf(lev.Op); res != nil {
+			dl.op = &haloResidentOp{mg: m, dist: dists[l],
+				res: res, mask: lev.Prob.BC.Mask, spans: dl.spans}
 		} else {
 			dl.op = &haloTensorOp{mg: m, dist: dists[l],
 				ten: fem.NewTensor(lev.Prob), mask: lev.Prob.BC.Mask, spans: dl.spans}
@@ -218,7 +253,11 @@ func NewDistOpts(base *MG, dists []*comm.Dist, opt DistOptions) (*DistMG, error)
 		if jac, ok := msm.(*krylov.Jacobi); ok {
 			msm = &krylov.Jacobi{InvDiag: jac.InvDiag, Spans: dl.spans}
 		}
-		dl.smoother = &krylov.Chebyshev{A: dl.op, M: msm, Lo: sm.Lo, Hi: sm.Hi, Steps: sm.Steps, Spans: dl.spans}
+		// When the shared level smooths blocked, the distributed smoother
+		// elides the final residual too — identical apply counts, and the
+		// elided apply never affects x, so iterates still match.
+		dl.smoother = &krylov.Chebyshev{A: dl.op, M: msm, Lo: sm.Lo, Hi: sm.Hi, Steps: sm.Steps,
+			Spans: dl.spans, NoFinalResidual: lev.Blocked != nil}
 		n := lev.Op.N()
 		dl.r, dl.e, dl.bc = la.NewVec(n), la.NewVec(n), la.NewVec(n)
 		m.lev = append(m.lev, dl)

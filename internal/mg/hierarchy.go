@@ -45,6 +45,13 @@ func VertexCoeffCoarsener(fineDA *mesh.DA, etaV, rhoV []float64) func(level int,
 	prevDA := fineDA
 	prevEta, prevRho := etaV, rhoV
 	return func(level int, p *fem.Problem) {
+		if level <= 1 {
+			// A new descent (CoarsenProblems starts at level 1): restart
+			// from the fine grid so the closure is reusable across
+			// hierarchy builds instead of restricting from the previous
+			// hierarchy's coarsest level.
+			prevDA, prevEta, prevRho = fineDA, etaV, rhoV
+		}
 		var ce, cr []float64
 		if prevEta != nil {
 			ce = make([]float64, p.DA.NVertices())

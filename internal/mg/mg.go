@@ -19,9 +19,24 @@ type Level struct {
 	Prob     *fem.Problem // discretization (nil only if purely algebraic)
 	Op       op.Operator
 	Smoother *krylov.Chebyshev
-	P        *Prolongation // transfer from the next-coarser level (nil on coarsest)
+	// Blocked, when non-nil, replaces Smoother in the cycle with the
+	// cache-blocked wavefront Chebyshev over the operator's resident
+	// backing. It computes bit-identical iterates (the unblocked
+	// recurrence with the final residual elided), so swapping it in is a
+	// pure performance substitution.
+	Blocked *fem.BlockedChebyshev
+	P       *Prolongation // transfer from the next-coarser level (nil on coarsest)
 
 	r, e, bc la.Vec // work vectors
+}
+
+// smooth runs the level's smoother, preferring the blocked variant.
+func (lev *Level) smooth(b, x la.Vec, zeroGuess bool) {
+	if lev.Blocked != nil {
+		lev.Blocked.Smooth(b, x, zeroGuess)
+		return
+	}
+	lev.Smoother.Smooth(b, x, zeroGuess)
 }
 
 // MG is a geometric multigrid V-cycle preconditioner for the viscous
@@ -111,8 +126,21 @@ type Options struct {
 	// FineOp, when non-nil, is used as the finest level's operator
 	// instead of building one from Kinds[0] (it must discretize
 	// probs[0]). The coupled Stokes solver passes its fine viscous
-	// operator here so it is constructed exactly once.
+	// operator here so it is constructed exactly once. Blocked/Precision
+	// substitutions never apply to a caller-provided FineOp.
 	FineOp op.Operator
+	// Blocked selects the cache-blocked wavefront Chebyshev smoother on
+	// every level whose operator is resident-backed (Tensor kinds are
+	// upgraded to TensorC to make them so). Bit-identical to the
+	// unblocked smoother; purely a performance substitution.
+	Blocked bool
+	// Precision runs the hierarchy's smoother operators at the given
+	// width: op.F32 swaps matrix-free levels to TensorF32 and assembled
+	// mid-levels to AssembledF32. The coarsest level always stays float64
+	// — the coarse solver consumes the exact assembled matrix — and so do
+	// all transfer operators and vectors. Meant for preconditioner use
+	// under a flexible outer Krylov method (FGMRES/GCR).
+	Precision op.Precision
 	// Auto is the base policy for op.Auto levels; the coarsest level
 	// additionally gets NeedCSR (the coarse solver consumes a matrix).
 	Auto op.Policy
@@ -154,6 +182,7 @@ func Build(probs []*fem.Problem, opt Options) (*MG, error) {
 		} else {
 			pol := opt.Auto
 			pol.NeedCSR = l == len(probs)-1
+			pol.AllowF32 = opt.Precision == op.F32 && !pol.NeedCSR
 			env := op.Env{
 				Prob:    p,
 				Workers: opt.Workers,
@@ -170,9 +199,10 @@ func Build(probs []*fem.Problem, opt Options) (*MG, error) {
 				env.FineCSR = func() *la.CSR { return finer.Op.CSR() }
 				env.Prolong = lp.ToCSR
 			}
-			o, err := op.New(opt.Kinds[l], env)
+			kind := levelKind(opt.Kinds[l], pol.NeedCSR, opt)
+			o, err := op.New(kind, env)
 			if err != nil {
-				return nil, fmt.Errorf("mg: level %d (%v): %w", l, opt.Kinds[l], err)
+				return nil, fmt.Errorf("mg: level %d (%v): %w", l, kind, err)
 			}
 			lev.Op = o
 		}
@@ -189,10 +219,50 @@ func Build(probs []*fem.Problem, opt Options) (*MG, error) {
 		jac := krylov.NewJacobi(diag)
 		lmax := krylov.EstimateLambdaMax(lev.Op, jac, opt.EigIts)
 		lev.Smoother = krylov.NewChebyshev(lev.Op, jac, lmax, opt.SmoothSteps)
+		if opt.Blocked {
+			// The blocked smoother needs the operator's resident backing;
+			// force an undecided Auto level to commit so the answer is
+			// definitive here rather than after the first applies.
+			if a, ok := lev.Op.(*op.AutoOp); ok {
+				a.ForceCommit()
+			}
+			if res := op.ResidentOf(lev.Op); res != nil {
+				lev.Blocked = fem.NewBlockedChebyshev(res, jac.InvDiag, lmax, opt.SmoothSteps)
+				// Keep the unblocked fallback (distributed views copy its
+				// interval) at the same apply count as the blocked sweeps.
+				lev.Smoother.NoFinalResidual = true
+			}
+		}
 		lev.r, lev.e, lev.bc = la.NewVec(n), la.NewVec(n), la.NewVec(n)
 		m.Levels = append(m.Levels, lev)
 	}
 	return m, nil
+}
+
+// levelKind maps a requested per-level kind through the Blocked/Precision
+// substitutions: at op.F32, matrix-free kinds become TensorF32 and
+// rediscretized-assembled mid-levels AssembledF32 (Galerkin stays — its
+// float64 triple product feeds the levels below); with Blocked at
+// float64, Tensor upgrades to the resident TensorC so the wavefront
+// smoother has stored coefficients to block over. The coarsest level
+// (needCSR) is never substituted.
+func levelKind(k op.Kind, needCSR bool, opt Options) op.Kind {
+	if needCSR {
+		return k
+	}
+	if opt.Precision == op.F32 {
+		switch k {
+		case op.Tensor, op.TensorC, op.MFRef:
+			return op.TensorF32
+		case op.Assembled:
+			return op.AssembledF32
+		}
+		return k
+	}
+	if opt.Blocked && k == op.Tensor {
+		return op.TensorC
+	}
+	return k
 }
 
 // SelectionReport collects the op.Auto decisions of every level that has
@@ -247,7 +317,7 @@ func (m *MG) vcycle(l int, b, x la.Vec, zeroGuess bool) {
 		if m.CoarseSolve == nil {
 			// Fall back to smoothing only.
 			st := lt.smooth.Start()
-			lev.Smoother.Smooth(b, x, zeroGuess)
+			lev.smooth(b, x, zeroGuess)
 			lt.smooth.Stop(st)
 			lt.smooths.Inc()
 			return
@@ -268,7 +338,7 @@ func (m *MG) vcycle(l int, b, x la.Vec, zeroGuess bool) {
 	}
 	// Pre-smooth.
 	st := lt.smooth.Start()
-	lev.Smoother.Smooth(b, x, zeroGuess)
+	lev.smooth(b, x, zeroGuess)
 	lt.smooth.Stop(st)
 	lt.smooths.Inc()
 	// Residual and restriction.
@@ -297,7 +367,7 @@ func (m *MG) vcycle(l int, b, x la.Vec, zeroGuess bool) {
 	x.AXPY(1, lev.e)
 	// Post-smooth.
 	st = lt.smooth.Start()
-	lev.Smoother.Smooth(b, x, false)
+	lev.smooth(b, x, false)
 	lt.smooth.Stop(st)
 	lt.smooths.Inc()
 }

@@ -33,6 +33,13 @@ type Policy struct {
 	// throughput — the same constraint that drives the paper's
 	// "assembled on coarse levels" layout.
 	NeedCSR bool
+	// AllowF32 admits the reduced-precision representations (TensorF32,
+	// AssembledF32) to the candidate field. Off by default: an f32 winner
+	// realizes a single-precision perturbation of the matrix, acceptable
+	// only inside a flexible outer Krylov method's preconditioner, so the
+	// caller must opt in (the multigrid builder does when the hierarchy
+	// runs at op.F32).
+	AllowF32 bool
 	// Machine overrides the roofline machine model; nil uses the
 	// process-wide perfmodel.CalibratedMachine().
 	Machine *perfmodel.Machine
@@ -154,7 +161,12 @@ func (o *AutoOp) ApplyFreeRows(u, y la.Vec) { o.mf.ApplyFreeRows(u, y) }
 
 func (o *AutoOp) cacheKey() string {
 	da := o.env.Prob.DA
-	return fmt.Sprintf("el=%dx%dx%d;w=%d;csr=%v", da.Mx, da.My, da.Mz, o.env.Workers, o.pol.NeedCSR)
+	// AllowF32 must be part of the key: the same level shape selects over
+	// a different candidate field per precision, and replaying a cached
+	// f32 winner into an f64 hierarchy (or vice versa) would silently
+	// change the preconditioner's arithmetic.
+	return fmt.Sprintf("el=%dx%dx%d;w=%d;csr=%v;f32=%v",
+		da.Mx, da.My, da.Mz, o.env.Workers, o.pol.NeedCSR, o.pol.AllowF32)
 }
 
 // Setup builds the candidate field. It commits immediately on the forced
@@ -181,18 +193,30 @@ func (o *AutoOp) Setup() error {
 	// Candidates share the level's matrix, so trial applies are
 	// interchangeable and the matrix-free diagonal serves all of them.
 	// (Galerkin realizes a *different* coarse matrix — it competes only
-	// on the forced coarse path, never in the timed field.)
-	kinds := []Kind{Tensor, MFRef, Assembled}
+	// on the forced coarse path, never in the timed field. The f32
+	// candidates realize a single-precision perturbation of the matrix;
+	// they enter the field only when the caller opted in via AllowF32,
+	// i.e. declared the operator a preconditioner interior.)
+	kinds := []Kind{Tensor, TensorC, MFRef, Assembled}
+	if o.pol.AllowF32 {
+		kinds = append(kinds, TensorF32, AssembledF32)
+	}
 	exp := float64(o.pol.ExpectedApplies)
 	for _, k := range kinds {
 		var c Cost
 		switch k {
 		case Tensor:
 			c = mfCost("Tensor", o.env.Prob)
+		case TensorC:
+			c = residentCost(o.env.Prob, false)
+		case TensorF32:
+			c = residentCost(o.env.Prob, true)
 		case MFRef:
 			c = mfCost("Matrix-free", o.env.Prob)
 		case Assembled:
 			c = asmCost(nel, nil)
+		case AssembledF32:
+			c = asm32Cost(nel, nil, nil)
 		}
 		applyPred := rooflineSeconds(machine, c.ApplyFlops, c.ApplyBytes)
 		setupPred := rooflineSeconds(machine, c.SetupFlops, c.SetupBytes)

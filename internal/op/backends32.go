@@ -1,0 +1,196 @@
+package op
+
+import (
+	"time"
+
+	"ptatin3d/internal/fem"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/perfmodel"
+)
+
+func init() {
+	Register(TensorC, func(env Env) (Operator, error) { return newResidentOp(env, false), nil })
+	Register(TensorF32, func(env Env) (Operator, error) { return newResidentOp(env, true), nil })
+	Register(AssembledF32, newAsm32Op)
+}
+
+// ResidentBacked is implemented by operators whose apply is backed by a
+// fem.Resident. The cache-blocked smoother and the fused distributed halo
+// path need the underlying resident machinery (per-block applies, stored
+// coefficients), not just the Operator surface.
+type ResidentBacked interface {
+	Resident() *fem.Resident
+}
+
+// ResidentOf unwraps an operator to its fem.Resident backing — following
+// an Auto commitment — or returns nil for non-resident representations.
+func ResidentOf(o Operator) *fem.Resident {
+	switch v := o.(type) {
+	case ResidentBacked:
+		return v.Resident()
+	case *AutoOp:
+		if v.committed != nil {
+			return ResidentOf(v.committed)
+		}
+	}
+	return nil
+}
+
+// residentCost scales the stored-coefficient per-element counts to the
+// whole mesh, adds the slab boundary-merge traffic, and charges the
+// coefficient precompute (a coordinate-streaming pass that writes the
+// 15-float-per-qp tensor stream) as setup.
+func residentCost(p *fem.Problem, f32 bool) Cost {
+	c := perfmodel.ResidentCounts(f32)
+	nel := float64(p.DA.NElements())
+	_, shared, _ := p.SlabStats()
+	coordB := 81.0 * 8
+	coefW := 15.0 * 27 * 8
+	if f32 {
+		coefW = 15 * 27 * 4
+	}
+	return Cost{
+		SetupFlops:   2000 * nel,
+		SetupBytes:   (coordB + coefW) * nel,
+		ApplyFlops:   c.Flops * nel,
+		ApplyBytes:   c.BytesPessimal*nel + perfmodel.SlabMergeBytes(shared),
+		StorageBytes: coefW * nel,
+	}
+}
+
+// residentOp wraps the stored-coefficient resident kernel at either
+// precision: TensorC (float64) and TensorF32 (float32 coefficients and
+// element arithmetic). Like asmOp, the one-time coefficient precompute is
+// deferred to Setup. A tensor matrix-free twin provides ApplyFreeRows —
+// residual evaluation stays full precision regardless of the
+// preconditioner's width, as in the paper's matrix-free residuals.
+type residentOp struct {
+	p      *fem.Problem
+	f32    bool
+	mf     *fem.TensorOp
+	r      *fem.Resident
+	setupT time.Duration
+}
+
+func newResidentOp(env Env, f32 bool) *residentOp {
+	return &residentOp{p: env.Prob, f32: f32, mf: fem.NewTensor(env.Prob)}
+}
+
+func (o *residentOp) N() int { return o.p.DA.NVelDOF() }
+
+func (o *residentOp) Setup() error {
+	if o.r == nil {
+		start := time.Now()
+		o.r = fem.NewResident(o.p, o.f32)
+		o.setupT = time.Since(start)
+	}
+	return nil
+}
+
+func (o *residentOp) Apply(x, y la.Vec) {
+	if o.r == nil {
+		o.Setup()
+	}
+	o.r.Apply(x, y)
+}
+
+func (o *residentOp) ApplyFreeRows(u, y la.Vec) { o.mf.ApplyFreeRows(u, y) }
+func (o *residentOp) Diag(d la.Vec)             { fem.Diagonal(o.p, d) }
+func (o *residentOp) Cost() Cost                { return residentCost(o.p, o.f32) }
+
+func (o *residentOp) Kind() Kind {
+	if o.f32 {
+		return TensorF32
+	}
+	return TensorC
+}
+
+func (o *residentOp) CSR() *la.CSR { return nil }
+
+// Resident exposes the backing kernel (nil before Setup is forced).
+func (o *residentOp) Resident() *fem.Resident {
+	o.Setup()
+	return o.r
+}
+
+// SetupTime reports the measured coefficient-precompute wall time.
+func (o *residentOp) SetupTime() time.Duration { return o.setupT }
+
+// asm32Cost is asmCost with the single-precision value stream: 12 bytes
+// per stored value+index (4-byte value, 8-byte column index) instead of
+// 16. The float64 matrix is retained for coarse-solver handoff, so it
+// stays in the storage footprint.
+func asm32Cost(nel int, a *la.CSR32, a64 *la.CSR) Cost {
+	setup := perfmodel.AssemblySetupCounts()
+	c := Cost{
+		SetupFlops: setup.Flops * float64(nel),
+		SetupBytes: setup.BytesPessimal * float64(nel),
+	}
+	if a != nil {
+		nnz := float64(a.NNZ())
+		c.ApplyFlops = 2 * nnz
+		c.ApplyBytes = 12*nnz + 24*float64(a.NRows)
+		c.StorageBytes = 12*nnz + 8*float64(a.NRows+1)
+		if a64 != nil {
+			c.StorageBytes += 8 * float64(len(a64.Val))
+		}
+	} else {
+		est := reproCounts("Assembled")
+		c.ApplyFlops = est.Flops * float64(nel)
+		c.ApplyBytes = est.BytesPessimal * float64(nel) * 12.0 / 16.0
+		c.StorageBytes = est.BytesPessimal * float64(nel)
+	}
+	return c
+}
+
+// asm32Op rediscretizes into CSR and applies the float32 value stream
+// with float64 row accumulation. The float64 matrix is kept: CSR() hands
+// it to coarse solvers and Galerkin products, which must not compound
+// single-precision rounding through triple products.
+type asm32Op struct {
+	p       *fem.Problem
+	workers int
+	mf      *fem.TensorOp
+	a64     *la.CSR
+	a32     *la.CSR32
+	setupT  time.Duration
+}
+
+func newAsm32Op(env Env) (Operator, error) {
+	return &asm32Op{p: env.Prob, workers: env.Workers, mf: fem.NewTensor(env.Prob)}, nil
+}
+
+func (o *asm32Op) N() int { return o.p.DA.NVelDOF() }
+
+func (o *asm32Op) Setup() error {
+	if o.a32 == nil {
+		start := time.Now()
+		o.a64 = fem.AssembleViscous(o.p)
+		o.a32 = la.NewCSR32(o.a64)
+		o.setupT = time.Since(start)
+	}
+	return nil
+}
+
+func (o *asm32Op) Apply(x, y la.Vec) {
+	if o.a32 == nil {
+		o.Setup()
+	}
+	o.a32.MulVecPar(x, y, o.workers)
+}
+
+func (o *asm32Op) ApplyFreeRows(u, y la.Vec) { o.mf.ApplyFreeRows(u, y) }
+
+func (o *asm32Op) Diag(d la.Vec) {
+	if o.a64 == nil {
+		o.Setup()
+	}
+	csrDiag(o.a64, d)
+}
+
+func (o *asm32Op) Cost() Cost   { return asm32Cost(o.p.DA.NElements(), o.a32, o.a64) }
+func (o *asm32Op) Kind() Kind   { return AssembledF32 }
+func (o *asm32Op) CSR() *la.CSR { o.Setup(); return o.a64 }
+
+// SetupTime reports the measured assembly+conversion wall time.
+func (o *asm32Op) SetupTime() time.Duration { return o.setupT }

@@ -46,6 +46,24 @@ const (
 	// candidates are timed, and the winner (assembly cost amortized over
 	// the expected apply count) is committed. Flag name: "auto".
 	Auto
+	// TensorC applies the stored-coefficient resident tensor kernel
+	// ("TensorC" of Table I, restructured for cache-blocked smoothing):
+	// the combined metric+coefficient tensor is precomputed at Setup, so
+	// the apply needs no coordinate gather or Jacobian inversion and its
+	// element data can stay cache-resident across blocked smoother
+	// sweeps. Flag name: "mfc".
+	TensorC
+	// TensorF32 is TensorC with float32 stored coefficients and float32
+	// element arithmetic (global vectors and scatter stay float64). The
+	// realized matrix is a single-precision perturbation of the f64 one,
+	// so this kind is for preconditioner interiors only — a flexible
+	// outer Krylov method absorbs the perturbation. Flag name: "mf32".
+	TensorF32
+	// AssembledF32 rediscretizes into CSR, stores the values in float32
+	// and applies with float64 row accumulation; the float64 matrix
+	// remains available through CSR() for coarse-solver handoff. Like
+	// TensorF32, preconditioner use only. Flag name: "asm32".
+	AssembledF32
 )
 
 // String returns the canonical flag name of the kind.
@@ -61,12 +79,19 @@ func (k Kind) String() string {
 		return "galerkin"
 	case Auto:
 		return "auto"
+	case TensorC:
+		return "mfc"
+	case TensorF32:
+		return "mf32"
+	case AssembledF32:
+		return "asm32"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// ParseKind parses a -op flag value (auto|mf|mfref|asm|galerkin, plus
-// the Table-I aliases tensor/tens, ref, asmb/assembled, rap).
+// ParseKind parses a -op flag value (auto|mf|mfc|mf32|mfref|asm|asm32|
+// galerkin, plus the Table-I aliases tensor/tens, ref, asmb/assembled,
+// rap).
 func ParseKind(s string) (Kind, error) {
 	switch s {
 	case "mf", "tensor", "tens":
@@ -79,8 +104,46 @@ func ParseKind(s string) (Kind, error) {
 		return Galerkin, nil
 	case "auto":
 		return Auto, nil
+	case "mfc", "tensorc", "resident":
+		return TensorC, nil
+	case "mf32", "tensorf32":
+		return TensorF32, nil
+	case "asm32", "assembledf32":
+		return AssembledF32, nil
 	}
-	return 0, fmt.Errorf("op: unknown kind %q (want auto|mf|mfref|asm|galerkin)", s)
+	return 0, fmt.Errorf("op: unknown kind %q (want auto|mf|mfc|mf32|mfref|asm|asm32|galerkin)", s)
+}
+
+// Precision selects the arithmetic width of a preconditioner's operator
+// stack. F64 is the default (today's behaviour); F32 swaps matrix-free
+// levels to TensorF32 and assembled levels to AssembledF32, halving the
+// smoother's memory traffic while outer flexible Krylov iterations stay
+// double precision.
+type Precision int
+
+const (
+	F64 Precision = iota
+	F32
+)
+
+// String returns the canonical flag name of the precision.
+func (p Precision) String() string {
+	if p == F32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// ParsePrecision parses a -precision flag value (f64|f32, plus the
+// aliases double/single and 64/32).
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "double", "64", "fp64":
+		return F64, nil
+	case "f32", "single", "32", "fp32":
+		return F32, nil
+	}
+	return 0, fmt.Errorf("op: unknown precision %q (want f64|f32)", s)
 }
 
 // Cost is a representation's absolute cost metadata (whole operator, not

@@ -78,7 +78,7 @@ func TestOpEquivalence(t *testing.T) {
 			ec := randomEquivCase(t, m, rng)
 			n := ec.coarse.DA.NVelDOF()
 
-			kinds := []op.Kind{op.Tensor, op.MFRef, op.Assembled}
+			kinds := []op.Kind{op.Tensor, op.TensorC, op.MFRef, op.Assembled}
 			ops := make([]op.Operator, len(kinds))
 			for i, k := range kinds {
 				o, err := op.New(k, op.Env{Prob: ec.coarse, Workers: 2})
@@ -200,6 +200,8 @@ func TestParseKind(t *testing.T) {
 		"asm": op.Assembled, "assembled": op.Assembled,
 		"galerkin": op.Galerkin, "rap": op.Galerkin,
 		"auto": op.Auto,
+		"mfc":  op.TensorC, "tensorc": op.TensorC,
+		"mf32": op.TensorF32, "asm32": op.AssembledF32,
 	}
 	for s, want := range cases {
 		got, err := op.ParseKind(s)
@@ -251,7 +253,7 @@ func TestAutoSelectsPerLevel(t *testing.T) {
 		}
 		t.Log(d.Summary())
 	}
-	if k := decs[0].Chosen; k != op.Tensor && k != op.MFRef {
+	if k := decs[0].Chosen; k != op.Tensor && k != op.TensorC && k != op.MFRef {
 		t.Errorf("finest level chose %v; want a matrix-free representation", k)
 	}
 	last := decs[len(decs)-1]
@@ -296,5 +298,130 @@ func TestAutoDecisionCache(t *testing.T) {
 	}
 	if second.Chosen != first.Chosen {
 		t.Fatalf("cache returned %v, first run chose %v", second.Chosen, first.Chosen)
+	}
+}
+
+// TestF32OpEquivalence checks the reduced-precision representations
+// against the float64 tensor reference: TensorF32 and AssembledF32 must
+// agree to single-precision accuracy (they are preconditioner
+// perturbations, not exact realizations), and AssembledF32's CSR() must
+// still hand the exact float64 matrix to coarse-solver consumers.
+func TestF32OpEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ec := randomEquivCase(t, 3, rng)
+	n := ec.coarse.DA.NVelDOF()
+
+	ref, err := op.New(op.Tensor, op.Env{Prob: ec.coarse, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(rng, n)
+	want := la.NewVec(n)
+	ref.Apply(x, want)
+	scale := want.NormInf()
+
+	for _, k := range []op.Kind{op.TensorF32, op.AssembledF32} {
+		o, err := op.New(k, op.Env{Prob: ec.coarse, Workers: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := o.Setup(); err != nil {
+			t.Fatalf("%v setup: %v", k, err)
+		}
+		y := la.NewVec(n)
+		o.Apply(x, y)
+		for d := 0; d < n; d++ {
+			if diff := math.Abs(y[d] - want[d]); diff > 2e-4*scale {
+				t.Fatalf("%v vs tensor mismatch at dof %d: %v vs %v (|Δ|=%.3e)", k, d, y[d], want[d], diff)
+			}
+		}
+	}
+
+	a32, _ := op.New(op.AssembledF32, op.Env{Prob: ec.coarse, Workers: 2})
+	a64, _ := op.New(op.Assembled, op.Env{Prob: ec.coarse, Workers: 2})
+	m32, m64 := a32.CSR(), a64.CSR()
+	if m32 == nil {
+		t.Fatal("AssembledF32.CSR() returned nil; coarse handoff needs the f64 matrix")
+	}
+	if len(m32.Val) != len(m64.Val) {
+		t.Fatalf("AssembledF32 f64 matrix has %d nnz, Assembled has %d", len(m32.Val), len(m64.Val))
+	}
+	for i := range m32.Val {
+		if m32.Val[i] != m64.Val[i] {
+			t.Fatalf("AssembledF32.CSR() value %d differs from the f64 assembly: %v vs %v",
+				i, m32.Val[i], m64.Val[i])
+		}
+	}
+}
+
+// TestResidentOf checks the unwrapping helper: resident-backed kinds
+// expose their fem.Resident (including through an Auto commitment), and
+// non-resident kinds return nil.
+func TestResidentOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ec := randomEquivCase(t, 2, rng)
+	rc, err := op.New(op.TensorC, op.Env{Prob: ec.coarse, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := op.ResidentOf(rc)
+	if r == nil {
+		t.Fatal("ResidentOf(TensorC) = nil")
+	}
+	if r.F32 {
+		t.Fatal("TensorC resident reports F32")
+	}
+	r32c, _ := op.New(op.TensorF32, op.Env{Prob: ec.coarse, Workers: 2})
+	if r32 := op.ResidentOf(r32c); r32 == nil || !r32.F32 {
+		t.Fatalf("ResidentOf(TensorF32) = %v; want an f32 resident", r32)
+	}
+	mf, _ := op.New(op.Tensor, op.Env{Prob: ec.coarse, Workers: 2})
+	if op.ResidentOf(mf) != nil {
+		t.Fatal("ResidentOf(Tensor) != nil")
+	}
+}
+
+// TestAutoCacheKeyedByPrecision is the regression test for the decision
+// cache ignoring precision: an f64 selection must NOT be replayed into an
+// AllowF32 selector for the same level shape (and vice versa), because
+// the candidate fields — and the acceptable winners — differ.
+func TestAutoCacheKeyedByPrecision(t *testing.T) {
+	op.ResetDecisionCache()
+	eta := func(x, y, z float64) float64 { return 1 + x*y + z }
+	build := func(allowF32 bool) op.Decision {
+		da := mesh.New(4, 4, 4, 0, 1, 0, 1, 0, 1)
+		bc := mesh.NewBC(da)
+		bc.FreeSlipBox(da, mesh.XMin, mesh.XMax, mesh.YMin, mesh.YMax, mesh.ZMin, mesh.ZMax)
+		p := fem.NewProblem(da, bc)
+		p.Workers = 2
+		p.SetCoefficientsFunc(eta, nil)
+		pol := op.DefaultPolicy()
+		pol.AllowF32 = allowF32
+		a, err := op.New(op.Auto, op.Env{Prob: p, Workers: 2, Policy: &pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		auto := a.(*op.AutoOp)
+		if err := auto.Setup(); err != nil {
+			t.Fatal(err)
+		}
+		auto.ForceCommit()
+		return auto.Decision()
+	}
+	f64first := build(false)
+	if !f64first.Committed || f64first.FromCache {
+		t.Fatalf("first f64 decision should be a fresh commit: %+v", f64first)
+	}
+	f32first := build(true)
+	if f32first.FromCache {
+		t.Fatalf("f32 selection replayed the f64 cache entry: %+v", f32first)
+	}
+	f32second := build(true)
+	if !f32second.FromCache || f32second.Chosen != f32first.Chosen {
+		t.Fatalf("identical f32 selection should hit the cache: %+v", f32second)
+	}
+	f64second := build(false)
+	if !f64second.FromCache || f64second.Chosen != f64first.Chosen {
+		t.Fatalf("f64 cache entry lost after f32 selection: %+v", f64second)
 	}
 }

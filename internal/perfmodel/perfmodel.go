@@ -86,6 +86,34 @@ func ReproCounts() []OpCounts {
 	}
 }
 
+// ResidentCounts returns the per-element counts of the stored-coefficient
+// resident operator (the TensorC kernel restructured for cache-blocked
+// smoothing). The flop count is TensorC's; the byte count halves the
+// dominant term — the 15 stored coefficients per quadrature point — when
+// the coefficients are stored in float32 (3240 → 1620 B/element). Nodal
+// state and output stay float64 on both paths (the global vectors are
+// double), so only the coefficient stream narrows: this is the "f32
+// bandwidth halving" the per-level auto-selection ranks against the f64
+// representations.
+func ResidentCounts(f32 bool) OpCounts {
+	const (
+		nodal = 81 * 8.0
+		emapB = 27 * 4.0
+	)
+	coefB := 15 * 27 * 8.0
+	name := "Resident"
+	if f32 {
+		coefB = 15 * 27 * 4.0
+		name = "Resident32"
+	}
+	return OpCounts{
+		Name:          name,
+		Flops:         9500,
+		BytesPerfect:  2*nodal/3.375 + coefB + emapB,
+		BytesPessimal: 2*nodal + coefB + emapB,
+	}
+}
+
 // SlabMergeBytes estimates the extra memory traffic of the slab-partitioned
 // owner-computes scatter (internal/fem slab schedule) per operator
 // application: every slab-boundary ("shared") node carries 3 components ×

@@ -28,6 +28,17 @@ type Config struct {
 	// GalerkinAll makes every coarse operator a Galerkin product (the
 	// GMG-ii configuration); requires an assembled fine level.
 	GalerkinAll bool
+	// Blocked runs the V-cycle's Chebyshev smoothers cache-blocked
+	// (mg.Options.Blocked). The hierarchy then builds its own
+	// resident-backed fine operator for smoothing; the coupled outer
+	// matvec keeps the FineKind representation. Bit-identical smoothing,
+	// purely a performance substitution. Ignored when Levels <= 1.
+	Blocked bool
+	// Precision runs the V-cycle's operator stack at the given width
+	// (mg.Options.Precision): op.F32 halves smoother memory traffic while
+	// the outer GCR/FGMRES iteration — and the residuals it reports —
+	// stay float64. Ignored when Levels <= 1.
+	Precision op.Precision
 	// SmoothSteps is the Chebyshev degree: V(k,k) (paper uses 2 or 3).
 	SmoothSteps int
 	// CoarseSolver: "gamg" (one SA V-cycle, the paper's default), "lu",
@@ -176,11 +187,21 @@ func New(prob *fem.Problem, cfg Config) (*Solver, error) {
 			return nil, fmt.Errorf("stokes: GalerkinAll requires an assembled fine level")
 		}
 		probs := mg.CoarsenProblems(prob, cfg.Levels, cfg.CoeffCoarsen)
+		// With blocked or reduced-precision smoothing the hierarchy must
+		// build its own fine-level operator (TensorC/TensorF32) — the
+		// shared coupled operator stays the full-precision FineKind, so
+		// outer residuals are untouched by the preconditioner's precision.
+		fineOp := auu
+		if cfg.Blocked || cfg.Precision == op.F32 {
+			fineOp = nil
+		}
 		gmg, err := mg.Build(probs, mg.Options{
 			Kinds:       op.DefaultLevelKinds(cfg.Levels, cfg.FineKind, cfg.GalerkinAll),
 			SmoothSteps: cfg.SmoothSteps,
 			Workers:     cfg.Workers,
-			FineOp:      auu,
+			FineOp:      fineOp,
+			Blocked:     cfg.Blocked,
+			Precision:   cfg.Precision,
 			Telemetry:   mgScope,
 		})
 		if err != nil {

@@ -404,3 +404,73 @@ func TestInstrumentation(t *testing.T) {
 }
 
 var _ = math.Pi // keep math imported if unused paths change
+
+// TestF32PreconditionedConvergence is the mixed-precision acceptance
+// property: with the V-cycle preconditioner running entirely in float32
+// (blocked TensorC smoothers, f32 coefficient streams) under a float64
+// flexible outer method, convergence must stay within 3 iterations of the
+// float64 hierarchy — across randomized viscosity contrasts up to the
+// paper-scale 10⁶.
+func TestF32PreconditionedConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	contrasts := []float64{math.Pow(10, 6*rng.Float64()), 1e6}
+	for _, deta := range contrasts {
+		solve := func(blocked bool, prec op.Precision) krylov.Result {
+			p, def := sinkerProblem(8, deta, 2)
+			cfg := sinkerConfig(p, def)
+			cfg.OuterMethod = "fgmres"
+			cfg.Params.RTol = 1e-5
+			cfg.Params.MaxIt = 1000
+			// High-contrast sinkers need a long flexible basis: restarting
+			// at the default 50 stalls FGMRES near Δη=10⁶ in both
+			// precisions, which would mask the f32-vs-f64 comparison.
+			cfg.Params.Restart = 200
+			cfg.Blocked = blocked
+			cfg.Precision = prec
+			_, _, res := solveSinker(t, 8, deta, cfg, def, p)
+			if !res.Converged {
+				t.Fatalf("Δη=%.3g blocked=%v prec=%v failed after %d its (rel %.2e)",
+					deta, blocked, prec, res.Iterations, res.Residual/res.Residual0)
+			}
+			return res
+		}
+		r64 := solve(false, op.F64)
+		r32 := solve(true, op.F32)
+		d := r64.Iterations - r32.Iterations
+		if d < 0 {
+			d = -d
+		}
+		if d > 3 {
+			t.Fatalf("Δη=%.3g: f32-preconditioned FGMRES took %d its, f64 took %d (|Δ|=%d > 3)",
+				deta, r32.Iterations, r64.Iterations, d)
+		}
+		t.Logf("Δη=%.3g: f64 %d its, f32 %d its", deta, r64.Iterations, r32.Iterations)
+	}
+}
+
+// TestBlockedSolveMatchesUnblocked: the blocked f64 configuration is a
+// bit-level reordering of the smoother, so the outer solve must take the
+// SAME iteration count as an unblocked TensorC hierarchy and land on an
+// equivalent solution.
+func TestBlockedSolveMatchesUnblocked(t *testing.T) {
+	p1, def := sinkerProblem(8, 1000, 2)
+	cfg := sinkerConfig(p1, def)
+	cfg.Params.RTol = 1e-5
+	cfg.Params.MaxIt = 500
+	cfgB := cfg
+	cfgB.Blocked = true
+	_, x1, r1 := solveSinker(t, 8, 1000, cfg, def, p1)
+	p2, _ := sinkerProblem(8, 1000, 2)
+	_, x2, r2 := solveSinker(t, 8, 1000, cfgB, def, p2)
+	if !r1.Converged || !r2.Converged {
+		t.Fatalf("convergence: unblocked %v blocked %v", r1.Converged, r2.Converged)
+	}
+	if d := r1.Iterations - r2.Iterations; d < -1 || d > 1 {
+		t.Fatalf("blocked solve took %d its, unblocked %d", r2.Iterations, r1.Iterations)
+	}
+	diff := x1.Clone()
+	diff.AXPY(-1, x2)
+	if rel := diff.Norm2() / x1.Norm2(); rel > 1e-4 {
+		t.Fatalf("blocked and unblocked solutions differ: rel %.3e", rel)
+	}
+}

@@ -119,6 +119,6 @@ func TestGoldenRecoverySinker3(t *testing.T) {
 
 	// The standard solve on the same configuration must still reproduce the
 	// golden record.
-	rec := sinker3Record(t, op.Tensor)
+	rec := sinker3Record(t, op.Tensor, false, op.F64)
 	checkGolden(t, "golden_sinker3", rec, stokes.DefaultConfig().Params.RTol)
 }

@@ -1,29 +1,30 @@
 #!/usr/bin/env bash
-# Machine-readable benchmark for the current PR: runs the weak+strong
-# scaling sweep of the rank-distributed Stokes solve in its
-# latency-tolerant configuration — pipelined single-reduce Krylov,
-# agglomerated coarse solve, alpha-beta fabric model — over 1..512
-# simulated ranks and writes BENCH_PR6.json (ptatin-scaling -sweep
-# -json): iterations, time-to-solution, per-rank allreduces per
-# iteration (the headline: ~1 for the pipelined variants vs 2+
-# classical), halo traffic, and the modeled fabric nanoseconds.
+# Machine-readable benchmark for the current PR: times the multigrid
+# V-cycle smoother configurations of the mixed-precision work — the
+# unblocked f64 baseline every earlier PR benchmarked, the cache-blocked
+# f64 wavefront smoother, and the cache-blocked float32 hierarchy — and
+# runs the Δη=10⁶ sinker contrast solve in both precisions to record
+# outer-iteration parity. Writes BENCH_PR7.json (ptatin-opcost -vcycle):
+# fine-smoother and whole-V-cycle times per configuration, the headline
+# blocked/f32 speedups (target: ≥2x on the smoother), and the f64-vs-f32
+# FGMRES iteration counts.
 #
-# Usage: scripts/bench.sh [outfile] [maxranks]
-#   outfile   destination JSON (default BENCH_PR6.json in the repo root)
-#   maxranks  skip sweep points above this rank count (default 512; the
-#             full 512-rank sweep takes tens of minutes on one core —
-#             pass 64 for a quick bounded run)
+# Usage: scripts/bench.sh [outfile] [m]
+#   outfile   destination JSON (default BENCH_PR7.json in the repo root)
+#   m         fine-grid elements per direction (default 16; the timing
+#             grid — the parity solve is fixed at 8³)
 #
 # Previous PR benchmarks remain available:
+#   BENCH_PR6: go run ./cmd/ptatin-scaling -sweep -json
 #   BENCH_PR5: go run ./cmd/ptatin-scaling -json -ranks 2x2x1 -grids 8,16
 #   BENCH_PR4: go run ./cmd/ptatin-opcost -json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
-maxranks="${2:-512}"
+out="${1:-BENCH_PR7.json}"
+m="${2:-16}"
 
-go run ./cmd/ptatin-scaling -sweep -sweep-max-ranks "$maxranks" -json > "$out"
+go run ./cmd/ptatin-opcost -vcycle -m "$m" -workers 1 -reps 5 > "$out"
 echo "wrote $out:"
 head -n 12 "$out"

@@ -43,6 +43,14 @@ go test -short -race -run 'TestSoakReliableExchange64Ranks' ./internal/comm
 echo "== pipelined Krylov + coarse agglomeration under -race =="
 go test -race -run 'TestPipelined|TestDistMGAgg|TestAllReduceSumVec' ./internal/krylov ./internal/mg ./internal/comm
 
+echo "== f32/f64 equivalence + blocked smoother determinism under -race =="
+go test -race \
+    -run 'TestF32OpEquivalence|TestAutoCacheKeyedByPrecision|TestResidentMatchesTensor|TestResidentDeterminism|TestBlockedChebyshevBitIdentical|TestMGBlockedVCycleBitIdentical|TestMGF32Converges|TestDistMGBlockedMatchesSerial|TestBlockedSolveMatchesUnblocked|TestF32PreconditionedConvergence' \
+    ./internal/op ./internal/fem ./internal/mg ./internal/stokes
+
+echo "== blocked smoother bench smoke (fails on >10% blocked-vs-unblocked regression) =="
+go run ./cmd/ptatin-opcost -vcycle -m 12 -levels 2 -reps 3 -vcycle-parity=false -vcycle-gate 1.1 > /dev/null
+
 echo "== rank-distributed solve under -race =="
 go run -race ./cmd/ptatin-scaling -ranks 2x1x1 -grids 8
 
