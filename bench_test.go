@@ -25,9 +25,9 @@ import (
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mesh"
 	"ptatin3d/internal/mg"
-	"ptatin3d/internal/model"
 	"ptatin3d/internal/op"
 	"ptatin3d/internal/par"
+	"ptatin3d/internal/scenario"
 	"ptatin3d/internal/stokes"
 	"ptatin3d/internal/telemetry"
 	"ptatin3d/internal/thermal"
@@ -81,10 +81,10 @@ func BenchmarkTableI_TensorC(b *testing.B) {
 
 // sinkerSolveBench runs complete Stokes solves on the §IV-A sinker.
 func sinkerSolveBench(b *testing.B, m int, deta float64, mut func(*stokes.Config)) {
-	o := model.DefaultSinkerOptions()
+	o := scenario.DefaultSinkerOptions()
 	o.M = m
 	o.DeltaEta = deta
-	mdl := model.NewSinker(o)
+	mdl := scenario.NewSinker(o)
 	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 	cfg := mdl.Cfg
 	cfg.Params.MaxIt = 1500
@@ -128,9 +128,9 @@ func BenchmarkTableII_SolveTens(b *testing.B) {
 // Table III's "MG res" rows measure the fine-level residual evaluation of
 // each SpMV implementation — operator application on the sinker problem.
 func tableIIIProblem() *fem.Problem {
-	o := model.DefaultSinkerOptions()
+	o := scenario.DefaultSinkerOptions()
 	o.M = 8
-	mdl := model.NewSinker(o)
+	mdl := scenario.NewSinker(o)
 	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 	return mdl.Prob
 }
@@ -171,9 +171,9 @@ func BenchmarkTableIV_SAMLii(b *testing.B) {
 // --- Figure 1: streamline tracing ---------------------------------------
 
 func BenchmarkFig1_Streamlines(b *testing.B) {
-	o := model.DefaultSinkerOptions()
+	o := scenario.DefaultSinkerOptions()
 	o.M = 6
-	mdl := model.NewSinker(o)
+	mdl := scenario.NewSinker(o)
 	mdl.Cfg.Levels = 2
 	if _, err := mdl.SolveStokes(); err != nil {
 		b.Fatal(err)
@@ -190,9 +190,9 @@ func BenchmarkFig1_Streamlines(b *testing.B) {
 // --- Figures 3/4: one rift time step ------------------------------------
 
 func BenchmarkFig4_RiftStep(b *testing.B) {
-	o := model.DefaultRiftOptions()
+	o := scenario.DefaultRiftOptions()
 	o.Mx, o.My, o.Mz = 16, 4, 8
-	m := model.NewRift(o)
+	m := scenario.NewRift(o)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := m.StepForward(); err != nil {

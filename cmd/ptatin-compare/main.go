@@ -18,8 +18,8 @@ import (
 	"ptatin3d/internal/cli"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
-	"ptatin3d/internal/model"
 	"ptatin3d/internal/op"
+	"ptatin3d/internal/scenario"
 	"ptatin3d/internal/stokes"
 )
 
@@ -73,11 +73,11 @@ func main() {
 
 	var gmgiTime float64
 	for _, cf := range configs {
-		o := model.DefaultSinkerOptions()
+		o := scenario.DefaultSinkerOptions()
 		o.M = *m
 		o.DeltaEta = *deta
 		o.Workers = *workers
-		mdl := model.NewSinker(o)
+		mdl := scenario.NewSinker(o)
 		mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 
 		cfg := mdl.Cfg

@@ -25,7 +25,7 @@ import (
 	"ptatin3d/internal/comm"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
-	"ptatin3d/internal/model"
+	"ptatin3d/internal/scenario"
 	"ptatin3d/internal/telemetry"
 )
 
@@ -46,11 +46,11 @@ func main() {
 		return
 	}
 
-	o := model.DefaultSinkerOptions()
+	o := scenario.DefaultSinkerOptions()
 	o.M = *m
 	o.Nc = 3
 	o.Rc = 0.18
-	mdl := model.NewSinker(o)
+	mdl := scenario.NewSinker(o)
 	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 	prob := mdl.Prob
 	da := prob.DA

@@ -1,31 +1,27 @@
-// Command ptatin-rift runs the continental rifting and breakup model of
-// paper §V at laptop scale: a 1200×200×600 km (nondimensionalized 12×2×6)
-// domain with mantle + weak/lower crust + strong/upper crust lithologies,
-// visco-plastic rheology with strain softening, a central damage seed,
-// symmetric x-extension (optionally with oblique z-shortening), thermal
-// evolution and a deforming free surface.
+// Command ptatin-rift is a thin wrapper over the "rift" scenario (see
+// cmd/ptatin-run for the general driver). It keeps the flags specific
+// to the continental rifting study of paper §V:
 //
-// Modes:
-//
-//	-steps N    advance N time steps, printing the per-step Newton and
-//	            Krylov iteration counts (the Figure 4 data, CSV).
-//	-snapshot   write fig3_grid.vtk / fig3_points.vtk after the run
-//	            (the Figure 3 visualization: lithology + damage zone).
 //	-oblique    apply boundary condition (ii): 0.1 cm/yr z-shortening.
 //	-weak ETA   lower-crust viscosity (nondimensional; weak ≈ 0.01–0.05
 //	            favours wide/oblique margins, strong ≈ 0.5 favours ridge
 //	            jumps — the paper's §V conclusion).
+//	-snapshot   write fig3_grid.vtk / fig3_points.vtk after the run
+//	            (the Figure 3 visualization: lithology + damage zone).
+//
+// Deprecated for plain time stepping: prefer
+//
+//	ptatin-run -scenario rift -steps N
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"ptatin3d/internal/cli"
-	"ptatin3d/internal/model"
-	"ptatin3d/internal/op"
+	"ptatin3d/internal/driver"
+	"ptatin3d/internal/scenario"
 )
 
 func main() {
@@ -47,66 +43,28 @@ func main() {
 	flag.Parse()
 	*workers = cli.Workers(*workers)
 
-	o := model.DefaultRiftOptions()
+	o := scenario.DefaultRiftOptions()
 	o.Mx, o.My, o.Mz = *mx, *my, *mz
 	o.Workers = *workers
 	o.WeakCrustEta = *weak
 	if *oblique {
 		o.ObliqueShortening = 0.1
 	}
-	m := model.NewRift(o)
-	fineKind := op.Tensor
-	if *opFlag != "" {
-		k, err := op.ParseKind(*opFlag)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fineKind = k
-		m.Cfg.FineKind = k
-	}
-	m.Cfg.Blocked = *blocked
-	if *precFlag != "" {
-		pr, err := op.ParsePrecision(*precFlag)
-		if err != nil {
-			log.Fatal(err)
-		}
-		m.Cfg.Precision = pr
-	}
-	if *restartFrom != "" {
-		if err := m.LoadCheckpoint(*restartFrom); err != nil {
-			log.Fatalf("restart: %v", err)
-		}
-		fmt.Printf("# restarted from %s at step %d, t=%.5f\n", *restartFrom, m.StepNum, m.Time)
+	m := scenario.NewRift(o)
+	ov := driver.Overrides{Op: *opFlag, Blocked: *blocked, Precision: *precFlag}
+	if err := ov.Apply(m); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("# Figure 4 reproduction: nonlinear solver behaviour per time step")
-	fmt.Println("# columns: step, time, dt, newton_its, krylov_its, krylov_per_newton, |F|0, |F|, converged, topo_min, topo_max, points, wall_s")
-	for s := 0; s < *steps; s++ {
-		if err := m.StepForward(); err != nil {
-			log.Fatalf("step %d: %v", s, err)
-		}
-		st := m.Stats[len(m.Stats)-1]
-		kpn := 0.0
-		if st.NewtonIts > 0 {
-			kpn = float64(st.KrylovIts) / float64(st.NewtonIts)
-		}
-		fmt.Printf("%d, %.5f, %.5f, %d, %d, %.1f, %.3e, %.3e, %v, %.4f, %.4f, %d, %.1f\n",
-			st.Step, st.Time, st.Dt, st.NewtonIts, st.KrylovIts, kpn,
-			st.FNorm0, st.FNorm, st.Converged, st.TopoMin, st.TopoMax,
-			st.PointCount, st.SolveTime.Seconds())
-		if *ckptEvery > 0 && m.StepNum%*ckptEvery == 0 {
-			if err := m.SaveCheckpoint(*ckptPath); err != nil {
-				log.Fatalf("checkpoint: %v", err)
-			}
-			fmt.Printf("# checkpointed step %d to %s\n", m.StepNum, *ckptPath)
-		}
-	}
-
-	if fineKind == op.Auto && m.LastStokes != nil {
-		fmt.Fprintln(os.Stderr, "# operator auto-selection")
-		for _, d := range m.LastStokes.SelectionReport() {
-			fmt.Fprintln(os.Stderr, "#   "+d.Summary())
-		}
+	if err := driver.Run(m, driver.Config{
+		Steps:           *steps,
+		CheckpointEvery: *ckptEvery,
+		CheckpointPath:  *ckptPath,
+		RestartFrom:     *restartFrom,
+		Scenario:        "rift",
+	}); err != nil {
+		log.Fatal(err)
 	}
 
 	if *snapshot {

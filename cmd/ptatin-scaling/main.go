@@ -25,9 +25,9 @@ import (
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/op"
 
-	"ptatin3d/internal/model"
 	"ptatin3d/internal/par"
 	"ptatin3d/internal/perfmodel"
+	"ptatin3d/internal/scenario"
 	"ptatin3d/internal/stokes"
 	"ptatin3d/internal/telemetry"
 )
@@ -143,11 +143,11 @@ func main() {
 }
 
 func runOne(g, workers int, deta float64, kind op.Kind, label string, oc perfmodel.OpCounts) {
-	o := model.DefaultSinkerOptions()
+	o := scenario.DefaultSinkerOptions()
 	o.M = g
 	o.DeltaEta = deta
 	o.Workers = workers
-	mdl := model.NewSinker(o)
+	mdl := scenario.NewSinker(o)
 	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 
 	cfg := mdl.Cfg
@@ -233,11 +233,11 @@ func runRanksMode(grids []int, ranksSpec string, deta float64, emitJSON bool) {
 			"halo-B/rank", "pred-B/exch", "allreduces")
 	}
 	for _, g := range grids {
-		o := model.DefaultSinkerOptions()
+		o := scenario.DefaultSinkerOptions()
 		o.M = g
 		o.DeltaEta = deta
 		o.Workers = 1
-		mdl := model.NewSinker(o)
+		mdl := scenario.NewSinker(o)
 		mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 
 		cfg := mdl.Cfg
@@ -442,11 +442,11 @@ func runSweepMode(deta float64, emitJSON bool, maxRanks int, pipelined bool, agg
 func sweepOne(pt sweepPoint, deta float64, pipelined bool, aggRoots int, emitJSON bool) *sweepRecord {
 	nr := pt.px * pt.py * pt.pz
 	ranksSpec := fmt.Sprintf("%dx%dx%d", pt.px, pt.py, pt.pz)
-	o := model.DefaultSinkerOptions()
+	o := scenario.DefaultSinkerOptions()
 	o.M = pt.g
 	o.DeltaEta = deta
 	o.Workers = 1
-	mdl := model.NewSinker(o)
+	mdl := scenario.NewSinker(o)
 	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 
 	cfg := mdl.Cfg

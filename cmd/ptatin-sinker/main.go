@@ -1,9 +1,7 @@
-// Command ptatin-sinker regenerates Figure 1 and Figure 2 of the paper on
-// the sedimentation ("sinker") benchmark of §IV-A: Nc randomly placed
-// dense viscous spheres in a lighter ambient fluid, slip walls, free
-// surface on top.
-//
-// Modes:
+// Command ptatin-sinker is a thin wrapper over the "sinker" scenario
+// (see cmd/ptatin-run for the general driver). It keeps the two
+// figure-reproduction modes that are specific to the sedimentation
+// benchmark of §IV-A:
 //
 //	-fig2         run the robustness study: for each Δη, solve the Stokes
 //	              problem with GCR + the lower-triangular field-split
@@ -11,7 +9,11 @@
 //	              momentum and pressure residual norms (CSV on stdout).
 //	-streamlines  solve once and write fig1_grid.vtk / fig1_points.vtk /
 //	              fig1_streamlines.vtk (the Figure 1 visualization).
-//	-steps N      advance N time steps and report sedimentation progress.
+//	-steps N      advance N time steps (same loop as ptatin-run).
+//
+// Deprecated for plain time stepping: prefer
+//
+//	ptatin-run -scenario sinker -res M -steps N
 package main
 
 import (
@@ -21,11 +23,13 @@ import (
 	"os"
 
 	"ptatin3d/internal/cli"
+	"ptatin3d/internal/driver"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/model"
 	"ptatin3d/internal/op"
 	"ptatin3d/internal/par"
+	"ptatin3d/internal/scenario"
 	"ptatin3d/internal/stokes"
 	"ptatin3d/internal/telemetry"
 )
@@ -75,53 +79,47 @@ func main() {
 		}()
 	}
 
-	fineKind := op.Tensor
-	if *opFlag != "" {
-		k, err := op.ParseKind(*opFlag)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fineKind = k
-	}
-	prec := op.F64
-	if *precFlag != "" {
-		pr, err := op.ParsePrecision(*precFlag)
-		if err != nil {
-			log.Fatal(err)
-		}
-		prec = pr
-	}
-
 	if *fig2 {
+		fineKind := op.Tensor
+		if *opFlag != "" {
+			k, err := op.ParseKind(*opFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fineKind = k
+		}
+		prec := op.F64
+		if *precFlag != "" {
+			pr, err := op.ParsePrecision(*precFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			prec = pr
+		}
 		runFig2(*m, *nc, *rc, *workers, fineKind, *blocked, prec, reg)
 		return
 	}
 
-	o := model.DefaultSinkerOptions()
+	o := scenario.DefaultSinkerOptions()
 	o.M = *m
 	o.Nc = *nc
 	o.Rc = *rc
 	o.Workers = *workers
-	mdl := model.NewSinker(o)
-	mdl.Cfg.FineKind = fineKind
-	mdl.Cfg.Blocked = *blocked
-	mdl.Cfg.Precision = prec
-	defer func() {
-		if fineKind == op.Auto && mdl.LastStokes != nil {
-			printSelection(mdl.LastStokes.SelectionReport())
-		}
-	}()
+	mdl := scenario.NewSinker(o)
+	ov := driver.Overrides{Op: *opFlag, Blocked: *blocked, Precision: *precFlag}
+	if err := ov.Apply(mdl); err != nil {
+		log.Fatal(err)
+	}
 	if reg != nil {
 		mdl.Telemetry = reg.Root().Child("model")
 	}
-	if *restartFrom != "" {
-		if err := mdl.LoadCheckpoint(*restartFrom); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("# restarted from %s at step %d, t=%.4f\n", *restartFrom, mdl.StepNum, mdl.Time)
-	}
 
 	if *stream {
+		if *restartFrom != "" {
+			if err := mdl.LoadCheckpoint(*restartFrom); err != nil {
+				log.Fatal(err)
+			}
+		}
 		if _, err := mdl.SolveStokes(); err != nil {
 			log.Fatal(err)
 		}
@@ -135,21 +133,17 @@ func main() {
 		}
 		must(mdl.WriteStreamlinesVTK(*outdir+"/fig1_streamlines.vtk", seeds, 0.02, 400))
 		fmt.Println("wrote fig1_grid.vtk, fig1_points.vtk, fig1_streamlines.vtk")
+		return
 	}
 
-	for s := 0; s < *steps; s++ {
-		if err := mdl.StepForward(); err != nil {
-			log.Fatal(err)
-		}
-		st := mdl.Stats[len(mdl.Stats)-1]
-		fmt.Printf("step %2d: t=%.4f dt=%.4f newton=%d krylov=%d |F|: %.3e -> %.3e points=%d\n",
-			st.Step, st.Time, st.Dt, st.NewtonIts, st.KrylovIts, st.FNorm0, st.FNorm, st.PointCount)
-		if *ckptEvery > 0 && mdl.StepNum%*ckptEvery == 0 {
-			if err := mdl.SaveCheckpoint(*ckptPath); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("# checkpointed step %d to %s\n", mdl.StepNum, *ckptPath)
-		}
+	if err := driver.Run(mdl, driver.Config{
+		Steps:           *steps,
+		CheckpointEvery: *ckptEvery,
+		CheckpointPath:  *ckptPath,
+		RestartFrom:     *restartFrom,
+		Scenario:        "sinker",
+	}); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -159,13 +153,13 @@ func runFig2(m, nc int, rc float64, workers int, fineKind op.Kind, blocked bool,
 	fmt.Println("# Figure 2 reproduction: vertical momentum vs pressure residual")
 	fmt.Println("# columns: delta_eta, iteration, momentum_resid, vertical_resid, pressure_resid")
 	for _, deta := range []float64{1, 1e2, 1e4} {
-		o := model.DefaultSinkerOptions()
+		o := scenario.DefaultSinkerOptions()
 		o.M = m
 		o.Nc = nc
 		o.Rc = rc
 		o.DeltaEta = deta
 		o.Workers = workers
-		mdl := model.NewSinker(o)
+		mdl := scenario.NewSinker(o)
 
 		cfg := mdl.Cfg
 		cfg.Workers = workers
@@ -198,20 +192,11 @@ func runFig2(m, nc int, rc float64, workers int, fineKind op.Kind, blocked bool,
 		fmt.Fprintf(os.Stderr, "delta_eta=%g: converged=%v iterations=%d rel=%.2e\n",
 			deta, res.Converged, res.Iterations, res.Residual/res.Residual0)
 		if fineKind == op.Auto {
-			printSelection(s.SelectionReport())
+			fmt.Fprintln(os.Stderr, "# operator auto-selection")
+			for _, d := range s.SelectionReport() {
+				fmt.Fprintln(os.Stderr, "#   "+d.Summary())
+			}
 		}
-	}
-}
-
-// printSelection writes the per-level operator choices of an -op=auto run
-// to stderr (the data channel on stdout stays machine-readable).
-func printSelection(decs []op.Decision) {
-	if len(decs) == 0 {
-		return
-	}
-	fmt.Fprintln(os.Stderr, "# operator auto-selection")
-	for _, d := range decs {
-		fmt.Fprintln(os.Stderr, "#   "+d.Summary())
 	}
 }
 

@@ -3,6 +3,16 @@
 // viscous fluid under a free surface — and write ParaView-loadable VTK
 // output.
 //
+// Models are selected from the scenario registry and compiled from
+// their declarative specs; the command-line equivalent of this program
+// is
+//
+//	go run ./cmd/ptatin-run -scenario sinker -steps 3
+//
+// (The older constructor-style entry point ptatin3d.NewSinker /
+// DefaultSinkerOptions still works — it now compiles the same "sinker"
+// spec — but new code should start from the registry.)
+//
 //	go run ./examples/quickstart
 package main
 
@@ -14,12 +24,16 @@ import (
 )
 
 func main() {
-	opts := ptatin3d.DefaultSinkerOptions()
-	opts.M = 8          // 8³ Q2 elements (the paper uses 64³ on a Cray)
-	opts.DeltaEta = 100 // viscosity contrast between ambient fluid and spheres
-	opts.Workers = 2
+	spec, err := ptatin3d.GetScenario("sinker")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Resolution = [3]int{8, 8, 8} // 8³ Q2 elements (the paper uses 64³ on a Cray)
 
-	m := ptatin3d.NewSinker(opts)
+	m, err := ptatin3d.CompileScenario(spec, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("sinker: %d elements, %d material points, %d velocity dofs\n",
 		m.Prob.DA.NElements(), m.Points.Len(), m.Prob.DA.NVelDOF())
 

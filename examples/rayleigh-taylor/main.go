@@ -1,10 +1,21 @@
-// Rayleigh–Taylor: build a custom geodynamic model from the library's
-// primitives rather than the canned problem setups — a dense layer over a
-// buoyant layer with a sinusoidal interface perturbation, the classic
-// instability benchmark of the MPM/marker literature the paper builds on.
-// Demonstrates: mesh + boundary conditions, material-point seeding with a
-// custom classifier, a user lithology table, and hand-assembly of the
-// Model driver.
+// Rayleigh–Taylor: author a custom geodynamic model as a declarative
+// scenario spec rather than hand-assembling mesh/BC/points/driver — a
+// dense layer over a buoyant layer with a sinusoidal interface
+// perturbation, the classic instability benchmark of the MPM/marker
+// literature the paper builds on. Demonstrates: a Spec literal with a
+// lithology table, a perturbed-layer geometry primitive, free-slip
+// boundary conditions, and compilation into the time-stepping model.
+//
+// The same model ships in the built-in registry, so this is equivalent
+// to
+//
+//	go run ./cmd/ptatin-run -scenario rayleigh-taylor -steps 4
+//
+// and the spec below could equally be saved as JSON (see
+// `ptatin-run -print-spec`) and run with `-scenario file.json`.
+// (Hand-assembly via ptatin3d.NewMesh/NewProblem/NewPointLattice still
+// works for needs the spec schema can't express, but is deprecated as
+// the first resort.)
 //
 //	go run ./examples/rayleigh-taylor
 package main
@@ -12,49 +23,47 @@ package main
 import (
 	"fmt"
 	"log"
-	"math"
 
 	"ptatin3d"
+	"ptatin3d/internal/scenario"
 )
 
 func main() {
-	const m = 8
-	da := ptatin3d.NewMesh(m, m, m, 0, 1, 0, 1, 0, 1)
-	bc := ptatin3d.NewBC(da)
-	// Free slip everywhere except the top (free surface).
-	bc.FreeSlipBox(da, ptatin3d.XMin, ptatin3d.XMax, ptatin3d.YMin, ptatin3d.YMax, ptatin3d.ZMin)
-	prob := ptatin3d.NewProblem(da, bc)
-	prob.Workers = 2
-	prob.Gravity = [3]float64{0, 0, -9.8}
-
-	// Dense layer on top of a light layer; perturbed interface at
-	// z = 0.5 + 0.04·cos(2πx).
-	interfaceZ := func(x float64) float64 { return 0.5 + 0.04*math.Cos(2*math.Pi*x) }
-	points := ptatin3d.NewPointLattice(prob, 3, func(x, y, z float64) int32 {
-		if z > interfaceZ(x) {
-			return 1 // dense overburden
-		}
-		return 0 // buoyant substrate
-	})
-
-	lith := ptatin3d.LithologyTable{
-		{Name: "buoyant", Type: ptatin3d.ConstantViscosity, Eta0: 0.01, Rho0: 1.0},
-		{Name: "dense", Type: ptatin3d.ConstantViscosity, Eta0: 1.0, Rho0: 1.3},
+	boolFalse := false
+	spec := ptatin3d.Scenario{
+		Name:        "rt-custom",
+		Description: "dense layer over a buoyant half-space, cosine interface perturbation",
+		Domain:      scenario.Box{X1: 1, Y1: 1, Z1: 1},
+		Resolution:  [3]int{8, 8, 8},
+		PPE:         3,
+		Gravity:     [3]float64{0, 0, -9.8},
+		// Free surface on top (z max), free slip everywhere else.
+		VerticalAxis: 2,
+		FreeSurface:  true,
+		CFL:          0.25,
+		Lithologies: []scenario.LithologySpec{
+			{Name: "buoyant", Type: "constant", Eta0: 0.01, Rho0: 1.0},
+			{Name: "dense", Type: "constant", Eta0: 1.0, Rho0: 1.3},
+		},
+		// Dense layer on top of a light layer; perturbed interface at
+		// z = 0.5 + 0.04·cos(2πx).
+		Geometry: []scenario.Primitive{{
+			Kind: "layer", Litho: 1, Axis: 2, From: 0.5, To: 1.5,
+			PerturbAmp: 0.04, PerturbAxis: 0, PerturbMode: 1,
+		}},
+		BCs: []scenario.BCSpec{
+			{Face: "xmin", Kind: "freeslip"}, {Face: "xmax", Kind: "freeslip"},
+			{Face: "ymin", Kind: "freeslip"}, {Face: "ymax", Kind: "freeslip"},
+			{Face: "zmin", Kind: "freeslip"},
+		},
+		Nonlinear: scenario.NonlinearSpec{MaxIt: 2, RTol: 1e-5, EisenstatWalker: &boolFalse},
 	}
 
-	cfg := ptatin3d.DefaultStokesConfig()
-	cfg.Workers = 2
-	nl := ptatin3d.DefaultNonlinearOptions()
-	nl.EisenstatWalker = false
-	nl.MaxIt = 2
-	nl.RTol = 1e-5
-
-	model := &ptatin3d.Model{
-		Prob: prob, Points: points, Lith: lith,
-		Cfg: cfg, VerticalAxis: 2, FreeSurface: true,
-		CFL: 0.25, Workers: 2, Nonlinear: nl,
+	model, err := ptatin3d.CompileScenario(spec, 2)
+	if err != nil {
+		log.Fatal(err)
 	}
-	model.UpdateCoefficients(make(ptatin3d.Vec, da.NVelDOF()+da.NPresDOF()), false)
+	points := model.Points
 
 	// Track the instability: mean depth of the dense material grows as
 	// the overburden founders.

@@ -4,6 +4,15 @@
 // free surface. Prints the Figure-4-style per-step solver statistics and
 // writes a final snapshot.
 //
+// The model comes from the scenario registry; the command-line
+// equivalent (including a rank-distributed variant) is
+//
+//	go run ./cmd/ptatin-run -scenario rift -res 16,4,8 -steps 5
+//	go run ./cmd/ptatin-run -scenario rift -res 16,4,8 -steps 5 -ranks 2x1x1
+//
+// (ptatin3d.NewRift / DefaultRiftOptions still work — they compile the
+// same "rift" spec — but new code should start from the registry.)
+//
 //	go run ./examples/rifting
 package main
 
@@ -15,14 +24,20 @@ import (
 )
 
 func main() {
-	opts := ptatin3d.DefaultRiftOptions()
-	opts.Mx, opts.My, opts.Mz = 16, 4, 8 // paper: 256×32×128
-	opts.Workers = 2
+	spec, err := ptatin3d.GetScenario("rift")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Resolution = [3]int{16, 4, 8} // paper: 256×32×128
+	spec.Solver.Levels = 0             // re-derive the hierarchy for the reduced grid
 	// Weak lower crust (the paper's §V conclusion: favours wide, oblique
 	// margins; raise towards ~0.5 for ridge jumps / transform margins).
-	opts.WeakCrustEta = 0.05
+	spec.Lithologies[1].Eta0 = 0.05
 
-	m := ptatin3d.NewRift(opts)
+	m, err := ptatin3d.CompileScenario(spec, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("rift: %d elements, %d points, domain 1200×200×600 km (nondim 12×2×6)\n",
 		m.Prob.DA.NElements(), m.Points.Len())
 

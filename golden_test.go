@@ -12,8 +12,8 @@ import (
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mesh"
 	"ptatin3d/internal/mg"
-	"ptatin3d/internal/model"
 	"ptatin3d/internal/op"
+	"ptatin3d/internal/scenario"
 	"ptatin3d/internal/stokes"
 	"ptatin3d/internal/telemetry"
 )
@@ -94,12 +94,12 @@ func solveGolden(t *testing.T, p *fem.Problem, cfg stokes.Config) goldenRecord {
 // reduced resolution, 3 spheres, Δη=100) directly with the production GMG
 // preconditioner.
 func sinker3Record(t *testing.T, kind op.Kind, blocked bool, prec op.Precision) goldenRecord {
-	o := model.DefaultSinkerOptions()
+	o := scenario.DefaultSinkerOptions()
 	o.M = 8
 	o.Nc = 3
 	o.Rc = 0.18
 	o.DeltaEta = 100
-	mdl := model.NewSinker(o)
+	mdl := scenario.NewSinker(o)
 	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 	cfg := mdl.Cfg
 	cfg.FineKind = kind

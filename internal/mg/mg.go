@@ -371,10 +371,3 @@ func (m *MG) vcycle(l int, b, x la.Vec, zeroGuess bool) {
 	lt.smooth.Stop(st)
 	lt.smooths.Inc()
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

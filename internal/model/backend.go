@@ -1,0 +1,114 @@
+package model
+
+import (
+	"ptatin3d/internal/krylov"
+	"ptatin3d/internal/la"
+	"ptatin3d/internal/stokes"
+)
+
+// StokesBackend executes the inner linear solves of the nonlinear Stokes
+// iteration. The nonlinear loop itself (residual evaluation, Eisenstat–
+// Walker forcing, line search) always runs serially on the full state;
+// the backend decides how each correction system J·δ = rhs is solved —
+// in shared memory on this process, or collectively over a simulated
+// rank world. Model.Backend == nil selects the built-in shared path,
+// bit-identical to SharedBackend.
+type StokesBackend interface {
+	// Name identifies the backend in telemetry and StepStats
+	// ("shared", "distributed").
+	Name() string
+	// LinearSolve solves J·δ = rhs to the tolerances in prm, writing the
+	// correction into delta (already zeroed). s is the preconditioner
+	// stack built by the current relinearization; it is nil when the
+	// preconditioner setup failed, in which case the backend must fall
+	// back to the serial jop/pc path so the outer loop can terminate.
+	LinearSolve(s *stokes.Solver, method string, jop krylov.Op, pc krylov.Preconditioner, rhs, delta la.Vec, prm krylov.Params) krylov.Result
+}
+
+// CommStatsReporter is implemented by backends that accumulate per-rank
+// communication statistics; StepForward drains them into the step's
+// StepStats record.
+type CommStatsReporter interface {
+	// TakeCommStats returns the per-rank communication volume
+	// accumulated since the last call, and resets the accumulator.
+	TakeCommStats() []stokes.RankStats
+}
+
+// SharedBackend is the in-process backend: every inner solve runs the
+// serial Krylov method on the operator/preconditioner pair of the
+// current relinearization. It reproduces the nonlinear package's
+// built-in inner solve exactly (same calls, same trajectory).
+type SharedBackend struct{}
+
+// Name implements StokesBackend.
+func (SharedBackend) Name() string { return "shared" }
+
+// LinearSolve implements StokesBackend.
+func (SharedBackend) LinearSolve(_ *stokes.Solver, method string, jop krylov.Op, pc krylov.Preconditioner, rhs, delta la.Vec, prm krylov.Params) krylov.Result {
+	if method == "gcr" {
+		return krylov.GCR(jop, pc, rhs, delta, prm, nil)
+	}
+	return krylov.FGMRES(jop, pc, rhs, delta, prm)
+}
+
+// DistributedBackend routes every inner solve through
+// stokes.Solver.LinearSolveDistributed on a Px×Py×Pz simulated rank
+// world: coupled halo operator, distributed V-cycle, deterministic
+// collectives. The per-level decompositions must nest (Px, Py, Pz
+// divide the element counts on every geometric level). The backend is
+// Picard-only: the distributed coupled operator applies the Picard
+// tensor linearization, so models with UseNewton are rejected by
+// SolveStokes before the iteration starts.
+type DistributedBackend struct {
+	Px, Py, Pz int
+	// Opts carries the latency-tolerance options of PR 6 (pipelined
+	// single-reduce Krylov, coarse agglomeration, fabric model).
+	Opts stokes.DistOptions
+
+	stats []stokes.RankStats
+}
+
+// NewDistributedBackend returns a backend over a px×py×pz world.
+func NewDistributedBackend(px, py, pz int, opts stokes.DistOptions) *DistributedBackend {
+	return &DistributedBackend{Px: max(1, px), Py: max(1, py), Pz: max(1, pz), Opts: opts}
+}
+
+// Name implements StokesBackend.
+func (b *DistributedBackend) Name() string { return "distributed" }
+
+// Ranks returns the world size.
+func (b *DistributedBackend) Ranks() int { return b.Px * b.Py * b.Pz }
+
+// PicardOnly marks the backend as unable to apply the Newton
+// linearization (the distributed matvec is the Picard tensor operator).
+func (b *DistributedBackend) PicardOnly() bool { return true }
+
+// LinearSolve implements StokesBackend.
+func (b *DistributedBackend) LinearSolve(s *stokes.Solver, method string, jop krylov.Op, pc krylov.Preconditioner, rhs, delta la.Vec, prm krylov.Params) krylov.Result {
+	if s == nil {
+		// Preconditioner setup failed upstream: run the serial fallback
+		// pair so the outer loop can observe the failure and stop.
+		return SharedBackend{}.LinearSolve(nil, method, jop, pc, rhs, delta, prm)
+	}
+	res, stats, err := s.LinearSolveDistributed(method, rhs, delta, prm, b.Px, b.Py, b.Pz, b.Opts)
+	if err != nil && res.Err == nil {
+		res.Err = err
+	}
+	if len(b.stats) != len(stats) {
+		b.stats = make([]stokes.RankStats, len(stats))
+		for i := range b.stats {
+			b.stats[i].Rank = i
+		}
+	}
+	for i := range stats {
+		b.stats[i].Add(stats[i])
+	}
+	return res
+}
+
+// TakeCommStats implements CommStatsReporter.
+func (b *DistributedBackend) TakeCommStats() []stokes.RankStats {
+	out := b.stats
+	b.stats = nil
+	return out
+}

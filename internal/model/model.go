@@ -41,6 +41,12 @@ type Model struct {
 	// drivers inspect it after a solve for the per-level operator
 	// selection report (Cfg.FineKind == op.Auto).
 	LastStokes *stokes.Solver
+	// Backend executes the inner linear solves of the nonlinear Stokes
+	// iteration. nil selects the built-in shared-memory path
+	// (bit-identical to SharedBackend); a DistributedBackend runs every
+	// inner solve collectively over the simulated rank world, making the
+	// whole MPM→rheology→Stokes→thermal→ALE step rank-distributed.
+	Backend StokesBackend
 
 	// VerticalAxis is the gravity direction index (sinker: 2, rift: 1).
 	VerticalAxis int
@@ -95,6 +101,14 @@ type StepStats struct {
 	PointCount int
 	TopoMin    float64
 	TopoMax    float64
+	// Backend records which Stokes backend ran the step's inner solves
+	// ("shared" when Model.Backend is nil); Ranks and the communication
+	// totals are zero on the shared path.
+	Backend    string
+	Ranks      int
+	HaloMsgs   int64
+	HaloBytes  int64
+	AllReduces int64
 }
 
 // pointState evaluates the rheological state of material point i for the
@@ -186,6 +200,11 @@ func (m *Model) SolveStokes() (nonlinear.Result, error) {
 	if len(m.X) != ncoup {
 		m.X = la.NewVec(ncoup)
 	}
+	if m.Backend != nil && m.UseNewton {
+		if po, ok := m.Backend.(interface{ PicardOnly() bool }); ok && po.PicardOnly() {
+			return nonlinear.Result{}, fmt.Errorf("model: backend %q applies the Picard linearization only; disable UseNewton", m.Backend.Name())
+		}
+	}
 	prob.BC.ApplyToVec(m.X[:nu])
 
 	// Geometry-dependent blocks (rebuilt each step: the ALE mesh moves).
@@ -193,6 +212,10 @@ func (m *Model) SolveStokes() (nonlinear.Result, error) {
 	bu := la.NewVec(nu)
 
 	var buildErr error
+	// prepared is the solver stack of the current relinearization; the
+	// backend hook below needs it (the serial path reaches it through
+	// the returned jop/pc instead).
+	var prepared *stokes.Solver
 	sys := nonlinear.System{
 		N: ncoup,
 		Residual: func(x, f la.Vec) {
@@ -213,11 +236,13 @@ func (m *Model) SolveStokes() (nonlinear.Result, error) {
 			s, err := stokes.New(prob, cfg)
 			if err != nil {
 				buildErr = err
+				prepared = nil
 				// Fall back to identity so the outer loop can terminate.
 				id := krylov.OpFunc{Dim: ncoup, F: func(a, b la.Vec) { b.Copy(a) }}
 				return id, krylov.Identity{}
 			}
 			m.LastStokes = s
+			prepared = s
 			if m.UseNewton {
 				nel := prob.DA.NElements()
 				d6 := make([]float64, 6*fem.NQP*nel)
@@ -228,7 +253,12 @@ func (m *Model) SolveStokes() (nonlinear.Result, error) {
 			return s.Op, s.FS
 		},
 		Method:      "fgmres",
-		InnerParams: m.Cfg.Params,
+		InnerParams: m.Cfg.EffectiveParams(),
+	}
+	if m.Backend != nil {
+		sys.Inner = func(method string, jop krylov.Op, pc krylov.Preconditioner, rhs, delta la.Vec, prm krylov.Params) krylov.Result {
+			return m.Backend.LinearSolve(prepared, method, jop, pc, rhs, delta, prm)
+		}
 	}
 	res := nonlinear.Solve(sys, m.X, m.Nonlinear)
 	if tel := m.Telemetry; tel != nil {
@@ -315,7 +345,7 @@ func (m *Model) StepForward() error {
 	// Advect material points; outflow points are removed (§II-D).
 	advected := m.Points.Len()
 	removed := 0
-	mpm.AdvectRK2(m.Prob, u, dt, m.Points, maxInt(1, m.Workers))
+	mpm.AdvectRK2(m.Prob, u, dt, m.Points, max(1, m.Workers))
 	for i := m.Points.Len() - 1; i >= 0; i-- {
 		if m.Points.Elem[i] < 0 {
 			m.Points.RemoveSwap(i)
@@ -367,20 +397,32 @@ func (m *Model) StepForward() error {
 
 	m.Time += dt
 	m.StepNum++
-	m.Stats = append(m.Stats, StepStats{
+	st := StepStats{
 		Step: m.StepNum, Time: m.Time, Dt: dt,
 		NewtonIts: res.Iterations, KrylovIts: res.KrylovIts,
 		FNorm0: res.FNorm0, FNorm: res.FNorm, Converged: res.Converged,
 		SolveTime:  time.Since(start),
 		PointCount: m.Points.Len(),
 		TopoMin:    topoMin, TopoMax: topoMax,
-	})
-	return nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+		Backend: "shared",
 	}
-	return b
+	if m.Backend != nil {
+		st.Backend = m.Backend.Name()
+		if rep, ok := m.Backend.(CommStatsReporter); ok {
+			ranks := rep.TakeCommStats()
+			st.Ranks = len(ranks)
+			for _, r := range ranks {
+				st.HaloMsgs += r.HaloMsgs
+				st.HaloBytes += r.HaloBytes
+				st.AllReduces += r.AllReduces
+			}
+			if tel := m.Telemetry; tel != nil {
+				tel.Counter("halo_msgs").Add(st.HaloMsgs)
+				tel.Counter("halo_bytes").Add(st.HaloBytes)
+				tel.Counter("allreduces").Add(st.AllReduces)
+			}
+		}
+	}
+	m.Stats = append(m.Stats, st)
+	return nil
 }

@@ -30,6 +30,15 @@ type System struct {
 	// InnerParams bounds the inner solves (MaxIt, Restart); RTol is
 	// overridden per iteration when Eisenstat–Walker is active.
 	InnerParams krylov.Params
+	// Inner, when non-nil, replaces the built-in serial Krylov call for
+	// the inner solve J·δ = rhs: it receives the operator/preconditioner
+	// pair of the current Prepare, the requested method, and the
+	// per-iteration params (RTol already holds the Eisenstat–Walker
+	// forcing term). The outer loop's breakdown fallback retries through
+	// the same hook with the alternate method. This is the seam the
+	// model layer uses to route inner solves to a rank-distributed
+	// backend while the nonlinear iteration itself stays serial.
+	Inner func(method string, jop krylov.Op, pc krylov.Preconditioner, rhs, delta la.Vec, prm krylov.Params) krylov.Result
 }
 
 // Options controls the outer iteration.
@@ -149,6 +158,9 @@ func Solve(sys System, x la.Vec, opt Options) Result {
 		rhs.Scale(-1)
 		delta.Zero()
 		inner := func(method string) krylov.Result {
+			if sys.Inner != nil {
+				return sys.Inner(method, jop, pc, rhs, delta, prm)
+			}
 			if method == "gcr" {
 				return krylov.GCR(jop, pc, rhs, delta, prm, nil)
 			}

@@ -1,4 +1,4 @@
-package model
+package scenario
 
 import (
 	"bytes"
@@ -9,9 +9,11 @@ import (
 
 	"ptatin3d/internal/chkpt"
 	"ptatin3d/internal/la"
+	"ptatin3d/internal/model"
+	"ptatin3d/internal/stokes"
 )
 
-func checkpointTestModelWorkers(workers int) *Model {
+func checkpointTestModelWorkers(workers int) *model.Model {
 	o := DefaultSinkerOptions()
 	o.M = 6
 	o.Nc = 3
@@ -21,7 +23,7 @@ func checkpointTestModelWorkers(workers int) *Model {
 	return NewSinker(o)
 }
 
-func checkpointTestModel() *Model { return checkpointTestModelWorkers(1) }
+func checkpointTestModel() *model.Model { return checkpointTestModelWorkers(1) }
 
 // TestCheckpointRestartExact verifies that restarting from a step-1
 // checkpoint replays the remaining steps bit-for-bit: the continued run's
@@ -37,16 +39,75 @@ func TestCheckpointRestartExact(t *testing.T) {
 	}
 	for _, workers := range []int{1, 2, 4} {
 		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
-			checkpointRestartExact(t, workers)
+			checkpointRestartExact(t, func() *model.Model { return checkpointTestModelWorkers(workers) })
 		})
 	}
 }
 
-func checkpointRestartExact(t *testing.T, workers int) {
+// TestThermalCheckpointRestartExact extends the bit-exactness guarantee
+// to a thermally coupled run: the rift scenario carries vertex
+// temperature, material-point plastic strain, and the coupled velocity/
+// pressure state through the checkpoint, and the continued run must
+// replay the reference exactly at every worker count.
+func TestThermalCheckpointRestartExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	mk := func(workers int) func() *model.Model {
+		return func() *model.Model {
+			spec, err := Get("rift")
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Resolution = spec.SmallResolution()
+			m, err := Compile(spec, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.T == nil || m.Temp == nil {
+				t.Fatal("rift scenario compiled without a thermal solver")
+			}
+			return m
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			checkpointRestartExact(t, mk(workers))
+		})
+	}
+}
+
+// TestDistributedCheckpointRestartExact: the checkpoint format is
+// backend-independent — a run on the distributed backend at 2 simulated
+// ranks checkpoints and restarts bit-exactly, same as shared memory.
+func TestDistributedCheckpointRestartExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"sinker", "rift"} {
+		t.Run(name, func(t *testing.T) {
+			checkpointRestartExact(t, func() *model.Model {
+				spec, err := Get(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec.Resolution = spec.SmallResolution()
+				m, err := Compile(spec, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.Backend = model.NewDistributedBackend(2, 1, 1, stokes.DistOptions{})
+				return m
+			})
+		})
+	}
+}
+
+func checkpointRestartExact(t *testing.T, mkModel func() *model.Model) {
 	const steps = 3
 
 	// Reference: uninterrupted run.
-	ref := checkpointTestModelWorkers(workers)
+	ref := mkModel()
 	for s := 0; s < steps; s++ {
 		if err := ref.StepForward(); err != nil {
 			t.Fatalf("reference step %d: %v", s, err)
@@ -56,7 +117,7 @@ func checkpointRestartExact(t *testing.T, workers int) {
 	// Interrupted run: one step, checkpoint to disk, restore into a fresh
 	// model, continue.
 	path := filepath.Join(t.TempDir(), "step1.chkpt")
-	a := checkpointTestModelWorkers(workers)
+	a := mkModel()
 	if err := a.StepForward(); err != nil {
 		t.Fatalf("step 0: %v", err)
 	}
@@ -64,12 +125,23 @@ func checkpointRestartExact(t *testing.T, workers int) {
 		t.Fatalf("SaveCheckpoint: %v", err)
 	}
 
-	b := checkpointTestModelWorkers(workers)
+	b := mkModel()
 	if err := b.LoadCheckpoint(path); err != nil {
 		t.Fatalf("LoadCheckpoint: %v", err)
 	}
 	if b.StepNum != 1 || b.Time != a.Time {
 		t.Fatalf("restored counters: step %d time %v, want step 1 time %v", b.StepNum, b.Time, a.Time)
+	}
+
+	if a.Temp != nil {
+		if len(b.Temp) != len(a.Temp) {
+			t.Fatalf("restored temperature has %d vertices, want %d", len(b.Temp), len(a.Temp))
+		}
+		for i := range a.Temp {
+			if b.Temp[i] != a.Temp[i] {
+				t.Fatalf("restored temperature differs at vertex %d: %v != %v", i, b.Temp[i], a.Temp[i])
+			}
+		}
 	}
 
 	// Byte-identical re-serialization of the restored state.

@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ptatin3d/internal/mpm"
+)
+
+// Primitive paints lithology (or initial plastic damage) onto the
+// material-point lattice. Primitives apply in order; a later primitive
+// overrides earlier ones where they overlap. Kinds:
+//
+//   - "layer": Litho on coordinate Axis ∈ [From, To), optionally with a
+//     sinusoidal interface perturbation (PerturbAmp/PerturbAxis/
+//     PerturbMode shift both bounds by A·cos(2π·mode·s̃) with s̃ the
+//     domain fraction along PerturbAxis — the classic Rayleigh–Taylor
+//     seed).
+//   - "sphere": Litho inside the ball at Center with Radius.
+//   - "swarm": Count non-intersecting spheres of Radius placed by a
+//     deterministic rejection sampler (Seed) inside the domain, kept a
+//     radius away from every wall and two radii apart — the §IV-A
+//     sinker placement.
+//   - "slab": a dipping band: for x ∈ [Hinge, Hinge+Length], the
+//     vertical coordinate (spec VerticalAxis) in [Top − (x−Hinge)·
+//     tan(Dip) − Thickness, Top − (x−Hinge)·tan(Dip)) is painted Litho.
+//   - "notch": Litho inside Box.
+//   - "damage": initial plastic strain: points inside Box draw
+//     rng.Float64()·Amplitude from a Seed-ed generator in point order
+//     (strictly interior: all box comparisons are exclusive, matching
+//     the legacy rift damage seed).
+type Primitive struct {
+	Kind  string `json:"kind"`
+	Litho int    `json:"litho,omitempty"`
+
+	// layer
+	Axis        int     `json:"axis,omitempty"`
+	From        float64 `json:"from,omitempty"`
+	To          float64 `json:"to,omitempty"`
+	PerturbAmp  float64 `json:"perturb_amp,omitempty"`
+	PerturbAxis int     `json:"perturb_axis,omitempty"`
+	PerturbMode int     `json:"perturb_mode,omitempty"`
+
+	// sphere / swarm
+	Center [3]float64 `json:"center,omitempty"`
+	Radius float64    `json:"radius,omitempty"`
+	Count  int        `json:"count,omitempty"`
+	Seed   int64      `json:"seed,omitempty"`
+
+	// slab
+	Hinge     float64 `json:"hinge,omitempty"`
+	DipDeg    float64 `json:"dip_deg,omitempty"`
+	Length    float64 `json:"length,omitempty"`
+	Thickness float64 `json:"thickness,omitempty"`
+	Top       float64 `json:"top,omitempty"`
+
+	// notch / damage
+	Box       Box     `json:"box,omitempty"`
+	Amplitude float64 `json:"amplitude,omitempty"`
+}
+
+// validate checks the primitive against the lithology table size.
+func (p Primitive) validate(nlith int) error {
+	switch p.Kind {
+	case "layer", "sphere", "swarm", "slab", "notch":
+		if p.Litho < 0 || p.Litho >= nlith {
+			return fmt.Errorf("%s: lithology %d out of table range [0,%d)", p.Kind, p.Litho, nlith)
+		}
+	case "damage":
+		// Paints plastic strain, not lithology.
+	default:
+		return fmt.Errorf("unknown primitive kind %q", p.Kind)
+	}
+	switch p.Kind {
+	case "layer":
+		if p.Axis < 0 || p.Axis > 2 {
+			return fmt.Errorf("layer: axis %d out of range", p.Axis)
+		}
+		if !(p.To > p.From) {
+			return fmt.Errorf("layer: empty band [%g,%g)", p.From, p.To)
+		}
+	case "sphere":
+		if p.Radius <= 0 {
+			return fmt.Errorf("sphere: radius must be positive")
+		}
+	case "swarm":
+		if p.Radius <= 0 || p.Count <= 0 {
+			return fmt.Errorf("swarm: need positive radius and count")
+		}
+	case "slab":
+		if p.Thickness <= 0 || p.Length <= 0 {
+			return fmt.Errorf("slab: need positive thickness and length")
+		}
+	}
+	return nil
+}
+
+// SwarmCenters returns the deterministic sphere centres of a swarm
+// primitive inside the domain: rejection sampling with Seed, one radius
+// off every wall, two radii of mutual separation. On the unit cube this
+// reproduces the legacy §IV-A sinker placement bit-for-bit.
+func SwarmCenters(p Primitive, domain Box) [][3]float64 {
+	rng := rand.New(rand.NewSource(p.Seed))
+	lo, hi := domain.Lo(), domain.Hi()
+	var centers [][3]float64
+	guard := 0
+	for len(centers) < p.Count && guard < 100000 {
+		guard++
+		var c [3]float64
+		for a := 0; a < 3; a++ {
+			c[a] = lo[a] + p.Radius + rng.Float64()*((hi[a]-lo[a])-2*p.Radius)
+		}
+		ok := true
+		for _, q := range centers {
+			d := math.Sqrt((c[0]-q[0])*(c[0]-q[0]) + (c[1]-q[1])*(c[1]-q[1]) + (c[2]-q[2])*(c[2]-q[2]))
+			if d < 2*p.Radius {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			centers = append(centers, c)
+		}
+	}
+	return centers
+}
+
+// classifier compiles the lithology-painting primitives into a single
+// point-classification function (damage primitives are skipped; they
+// act on the lattice afterwards, see applyDamage).
+func classifier(spec Spec) func(x, y, z float64) int32 {
+	type painted struct {
+		in    func(x, y, z float64) bool
+		litho int32
+	}
+	var regions []painted
+	lo, hi := spec.Domain.Lo(), spec.Domain.Hi()
+	for _, p := range spec.Geometry {
+		p := p
+		switch p.Kind {
+		case "layer":
+			var shift func(x, y, z float64) float64
+			if p.PerturbAmp != 0 {
+				s0 := lo[p.PerturbAxis]
+				ext := hi[p.PerturbAxis] - lo[p.PerturbAxis]
+				mode := float64(p.PerturbMode)
+				if mode == 0 {
+					mode = 1
+				}
+				shift = func(x, y, z float64) float64 {
+					s := [3]float64{x, y, z}[p.PerturbAxis]
+					return p.PerturbAmp * math.Cos(2*math.Pi*mode*(s-s0)/ext)
+				}
+			}
+			regions = append(regions, painted{litho: int32(p.Litho), in: func(x, y, z float64) bool {
+				c := [3]float64{x, y, z}[p.Axis]
+				d := 0.0
+				if shift != nil {
+					d = shift(x, y, z)
+				}
+				return c >= p.From+d && c < p.To+d
+			}})
+		case "sphere":
+			r2 := p.Radius * p.Radius
+			regions = append(regions, painted{litho: int32(p.Litho), in: func(x, y, z float64) bool {
+				dx, dy, dz := x-p.Center[0], y-p.Center[1], z-p.Center[2]
+				return dx*dx+dy*dy+dz*dz < r2
+			}})
+		case "swarm":
+			centers := SwarmCenters(p, spec.Domain)
+			r2 := p.Radius * p.Radius
+			regions = append(regions, painted{litho: int32(p.Litho), in: func(x, y, z float64) bool {
+				for _, c := range centers {
+					d2 := (x-c[0])*(x-c[0]) + (y-c[1])*(y-c[1]) + (z-c[2])*(z-c[2])
+					if d2 < r2 {
+						return true
+					}
+				}
+				return false
+			}})
+		case "slab":
+			tanDip := math.Tan(p.DipDeg * math.Pi / 180)
+			v := spec.VerticalAxis
+			regions = append(regions, painted{litho: int32(p.Litho), in: func(x, y, z float64) bool {
+				if x < p.Hinge || x > p.Hinge+p.Length {
+					return false
+				}
+				top := p.Top - (x-p.Hinge)*tanDip
+				c := [3]float64{x, y, z}[v]
+				return c >= top-p.Thickness && c < top
+			}})
+		case "notch":
+			regions = append(regions, painted{litho: int32(p.Litho), in: p.Box.Contains})
+		}
+	}
+	return func(x, y, z float64) int32 {
+		lith := int32(0)
+		for _, r := range regions {
+			if r.in(x, y, z) {
+				lith = r.litho
+			}
+		}
+		return lith
+	}
+}
+
+// applyDamage runs the damage primitives over the freshly seeded
+// lattice: each draws from its own seeded generator in point order,
+// only for points strictly inside its box — the draw sequence is
+// therefore independent of how many points lie outside, matching the
+// legacy rift damage seed bit-for-bit.
+func applyDamage(spec Spec, pts *mpm.Points) {
+	for _, p := range spec.Geometry {
+		if p.Kind != "damage" {
+			continue
+		}
+		amp := p.Amplitude
+		if amp == 0 {
+			amp = 1
+		}
+		b := p.Box
+		rng := rand.New(rand.NewSource(p.Seed))
+		for i := 0; i < pts.Len(); i++ {
+			x, y, z := pts.X[i], pts.Y[i], pts.Z[i]
+			if x > b.X0 && x < b.X1 && y > b.Y0 && y < b.Y1 && z > b.Z0 && z < b.Z1 {
+				pts.Plastic[i] = amp * rng.Float64()
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// The registry maps scenario names to spec constructors (constructors,
+// not values, so every Get hands out an independent Spec the caller may
+// mutate freely).
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Spec{}
+)
+
+// Register adds a named spec constructor; registering an existing name
+// panics (scenario names are a flat global namespace).
+func Register(name string, fn func() Spec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", name))
+	}
+	registry[name] = fn
+}
+
+// Get returns a fresh copy of the named registered spec.
+func Get(name string) (Spec, error) {
+	regMu.RLock()
+	fn, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown scenario %q (registered: %v)", name, Names())
+	}
+	return fn(), nil
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resolve looks up nameOrPath in the registry first and falls back to
+// loading it as a JSON spec file — the lookup rule behind the driver's
+// -scenario flag.
+func Resolve(nameOrPath string) (Spec, error) {
+	if s, err := Get(nameOrPath); err == nil {
+		return s, nil
+	}
+	if _, err := os.Stat(nameOrPath); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %q is neither a registered scenario (%v) nor a readable spec file", nameOrPath, Names())
+	}
+	return Load(nameOrPath)
+}

@@ -9,6 +9,7 @@ import (
 	"ptatin3d/internal/krylov"
 	"ptatin3d/internal/la"
 	"ptatin3d/internal/mg"
+	"ptatin3d/internal/telemetry"
 )
 
 // Rank-distributed coupled Stokes solve (paper §II-D): the whole outer
@@ -270,34 +271,117 @@ func pressureSpans(l *comm.Layout) []la.Span {
 // pipelined single-reduce Krylov, coarse-solve agglomeration onto a rank
 // subset, a fabric cost model, and a retry-policy override.
 func (s *Solver) SolveDistributedOpt(x, bu la.Vec, px, py, pz int, opt DistOptions) (krylov.Result, []RankStats, error) {
-	if s.MG == nil {
-		return krylov.Result{}, nil, fmt.Errorf("stokes: distributed solve requires a geometric multigrid configuration (Levels >= 2)")
-	}
-	nl := len(s.MG.Levels)
-	decomps := make([]*comm.Decomp, nl)
-	for l, lev := range s.MG.Levels {
-		if lev.Prob == nil {
-			return krylov.Result{}, nil, fmt.Errorf("stokes: distributed solve requires geometric levels (level %d is algebraic)", l)
-		}
-		d, err := comm.NewDecomp(lev.Prob.DA, px, py, pz)
-		if err != nil {
-			return krylov.Result{}, nil, fmt.Errorf("stokes: level %d: %w", l, err)
-		}
-		decomps[l] = d
-	}
-	if err := mg.ValidateNestedDecomps(decomps); err != nil {
-		return krylov.Result{}, nil, err
-	}
-
 	// Residual-correction form, as in Solve.
 	n := s.Op.N()
 	f := la.NewVec(n)
 	s.Op.Residual(x, bu, f)
 	f.Scale(-1)
 	delta := la.NewVec(n)
+	res, stats, err := s.LinearSolveDistributed(s.Cfg.OuterMethod, f, delta, s.Cfg.Params, px, py, pz, opt)
+	if err != nil {
+		return res, stats, err
+	}
+	x.AXPY(1, delta)
+	return res, stats, nil
+}
+
+// distDecomps builds and validates the nested per-level decompositions
+// of the solver's geometric hierarchy for a px×py×pz world.
+func (s *Solver) distDecomps(px, py, pz int) ([]*comm.Decomp, error) {
+	if s.MG == nil {
+		return nil, fmt.Errorf("stokes: distributed solve requires a geometric multigrid configuration (Levels >= 2)")
+	}
+	decomps := make([]*comm.Decomp, len(s.MG.Levels))
+	for l, lev := range s.MG.Levels {
+		if lev.Prob == nil {
+			return nil, fmt.Errorf("stokes: distributed solve requires geometric levels (level %d is algebraic)", l)
+		}
+		d, err := comm.NewDecomp(lev.Prob.DA, px, py, pz)
+		if err != nil {
+			return nil, fmt.Errorf("stokes: level %d: %w", l, err)
+		}
+		decomps[l] = d
+	}
+	if err := mg.ValidateNestedDecomps(decomps); err != nil {
+		return nil, err
+	}
+	return decomps, nil
+}
+
+// rankCommCounters reads the communication counters of one rank's
+// telemetry scope into a RankStats record.
+func rankCommCounters(sc *telemetry.Scope, rank int) RankStats {
+	return RankStats{
+		Rank:              rank,
+		HaloMsgs:          sc.Counter("halo_msgs").Value(),
+		HaloBytes:         sc.Counter("halo_bytes").Value(),
+		AllReduces:        sc.Counter("allreduces").Value(),
+		Retries:           sc.Counter("retries").Value(),
+		FabricHaloNs:      sc.Counter("fabric_halo_ns").Value(),
+		FabricAllReduceNs: sc.Counter("fabric_allreduce_ns").Value(),
+		FabricCoarseNs:    sc.Counter("fabric_coarse_ns").Value(),
+	}
+}
+
+// sub returns the counter deltas a−b (Rank preserved from a).
+func (a RankStats) sub(b RankStats) RankStats {
+	return RankStats{
+		Rank:              a.Rank,
+		HaloMsgs:          a.HaloMsgs - b.HaloMsgs,
+		HaloBytes:         a.HaloBytes - b.HaloBytes,
+		AllReduces:        a.AllReduces - b.AllReduces,
+		Retries:           a.Retries - b.Retries,
+		FabricHaloNs:      a.FabricHaloNs - b.FabricHaloNs,
+		FabricAllReduceNs: a.FabricAllReduceNs - b.FabricAllReduceNs,
+		FabricCoarseNs:    a.FabricCoarseNs - b.FabricCoarseNs,
+	}
+}
+
+// Add accumulates the communication volume of o into s (Rank kept).
+func (s *RankStats) Add(o RankStats) {
+	s.HaloMsgs += o.HaloMsgs
+	s.HaloBytes += o.HaloBytes
+	s.AllReduces += o.AllReduces
+	s.Retries += o.Retries
+	s.FabricHaloNs += o.FabricHaloNs
+	s.FabricAllReduceNs += o.FabricAllReduceNs
+	s.FabricCoarseNs += o.FabricCoarseNs
+}
+
+// LinearSolveDistributed solves the coupled linear system J·δ = rhs
+// collectively over a px×py×pz world, writing the assembled correction
+// into delta (overwritten). The caller supplies the outer method and the
+// Krylov parameters — this is the backend entry point the nonlinear time
+// loop uses, where RTol carries the per-iteration Eisenstat–Walker
+// forcing term. Each rank runs the method on its own windowed vector
+// copy; the owned pieces of the per-rank solutions are assembled into
+// delta, and rank 0's Result is returned (all ranks follow the identical
+// trajectory). RankStats are per-call deltas, so repeated solves against
+// the same telemetry registry report each solve's own volume.
+//
+// Requires a geometric multigrid configuration (Levels >= 2) whose
+// per-level decompositions nest: px, py, pz must divide the per-level
+// element counts at every level.
+func (s *Solver) LinearSolveDistributed(method string, rhs, delta la.Vec, prmIn krylov.Params, px, py, pz int, opt DistOptions) (krylov.Result, []RankStats, error) {
+	decomps, err := s.distDecomps(px, py, pz)
+	if err != nil {
+		return krylov.Result{}, nil, err
+	}
+	nl := len(decomps)
+	f := rhs
+	delta.Zero()
 
 	tel := s.Tel.Child("dist")
 	size := px * py * pz
+	n := s.Op.N()
+	// Snapshot the communication counters up front: the rank scopes are
+	// reused across rebuilt solvers sharing one telemetry registry (the
+	// time loop rebuilds the preconditioner every nonlinear iteration),
+	// so per-solve stats must be computed as before/after deltas.
+	before := make([]RankStats, size)
+	for rid := 0; rid < size; rid++ {
+		before[rid] = rankCommCounters(tel.Child(fmt.Sprintf("rank%d", rid)), rid)
+	}
 	var agg *comm.Agg
 	if opt.CoarseRoots > 0 {
 		a, err := comm.NewAgg(size, opt.CoarseRoots)
@@ -338,7 +422,7 @@ func (s *Solver) SolveDistributedOpt(x, bu la.Vec, px, py, pz int, opt DistOptio
 		a := &distOp{op: s.Op, ten: fem.NewTensor(s.Prob), dist: fine, sink: sink, spans: spans}
 		m := &distFieldSplit{op: s.Op, dmg: dmg, mp: s.Mp, l: fine.L,
 			tu: la.NewVec(s.Op.Np), pspans: pressureSpans(fine.L)}
-		prm := s.Cfg.Params
+		prm := prmIn
 		prm.Reducer = &coupledReducer{op: s.Op, dist: fine}
 		prm.Exchanger = &coupledExchanger{op: s.Op, dist: fine}
 		prm.Telemetry = sc.Child("krylov")
@@ -352,7 +436,7 @@ func (s *Solver) SolveDistributedOpt(x, bu la.Vec, px, py, pz int, opt DistOptio
 		b.CopySpans(f, spans)
 		d := la.NewVec(n)
 		var rr krylov.Result
-		if s.Cfg.OuterMethod == "fgmres" {
+		if method == "fgmres" {
 			rr = krylov.FGMRES(a, m, b, d, prm)
 		} else {
 			rr = krylov.GCR(a, m, b, d, prm, nil)
@@ -379,16 +463,7 @@ func (s *Solver) SolveDistributedOpt(x, bu la.Vec, px, py, pz int, opt DistOptio
 		if r.ID == 0 {
 			res = rr
 		}
-		stats[r.ID] = RankStats{
-			Rank:              r.ID,
-			HaloMsgs:          sc.Counter("halo_msgs").Value(),
-			HaloBytes:         sc.Counter("halo_bytes").Value(),
-			AllReduces:        sc.Counter("allreduces").Value(),
-			Retries:           sc.Counter("retries").Value(),
-			FabricHaloNs:      sc.Counter("fabric_halo_ns").Value(),
-			FabricAllReduceNs: sc.Counter("fabric_allreduce_ns").Value(),
-			FabricCoarseNs:    sc.Counter("fabric_coarse_ns").Value(),
-		}
+		stats[r.ID] = rankCommCounters(sc, r.ID).sub(before[r.ID])
 		rankErr[r.ID] = sink.err
 		mu.Unlock()
 	})
@@ -397,6 +472,5 @@ func (s *Solver) SolveDistributedOpt(x, bu la.Vec, px, py, pz int, opt DistOptio
 			return res, stats, fmt.Errorf("stokes: distributed solve, rank %d: %w", rid, err)
 		}
 	}
-	x.AXPY(1, delta)
 	return res, stats, nil
 }

@@ -58,6 +58,12 @@ type Config struct {
 	OuterMethod string
 	// Params controls the outer Krylov iteration (rtol 1e-5 in the paper).
 	Params krylov.Params
+	// Restart, when > 0, overrides Params.Restart for the outer Krylov
+	// method. FGMRES discards its Krylov space at every restart, and with
+	// viscosity contrasts Δη ≥ 1e5 the default window of 50 can stall just
+	// short of the tolerance; high-contrast configurations should raise
+	// this (the Δη=1e6 parity runs use 200).
+	Restart int
 	// Telemetry, when non-nil, is the scope the solver instruments itself
 	// under: "outer" (matmult/pcapply/coarse timers, setup_seconds gauge),
 	// "krylov" (outer iteration counters + residual trace), "mg"/"amg"
@@ -91,6 +97,17 @@ func DefaultConfig() Config {
 		Workers:      1,
 		VerticalAxis: 2,
 	}
+}
+
+// EffectiveParams returns the outer Krylov parameters with the Restart
+// override applied. Callers driving their own Krylov iteration from a
+// Config (the nonlinear loop) should use this rather than Params.
+func (c Config) EffectiveParams() krylov.Params {
+	prm := c.Params
+	if c.Restart > 0 {
+		prm.Restart = c.Restart
+	}
+	return prm
 }
 
 // Solver is a configured coupled Stokes solver.
@@ -136,6 +153,7 @@ func New(prob *fem.Problem, cfg Config) (*Solver, error) {
 		cfg.FineKind = op.Assembled
 		cfg.GalerkinAll = true
 	}
+	cfg.Params = cfg.EffectiveParams()
 	prob.Workers = cfg.Workers
 	s := &Solver{Cfg: cfg, Prob: prob}
 	s.Tel = cfg.Telemetry
@@ -355,11 +373,4 @@ func (s *Solver) Solve(x, bu la.Vec, mon *Monitor) krylov.Result {
 	}
 	x.AXPY(1, delta)
 	return res
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -41,6 +41,7 @@ import (
 	"ptatin3d/internal/op"
 	"ptatin3d/internal/perfmodel"
 	"ptatin3d/internal/rheology"
+	"ptatin3d/internal/scenario"
 	"ptatin3d/internal/stokes"
 	"ptatin3d/internal/thermal"
 )
@@ -52,24 +53,53 @@ type Model = model.Model
 // StepStats records one time step's solver behaviour (Figure 4 data).
 type StepStats = model.StepStats
 
-// SinkerOptions parametrizes the §IV-A sedimentation benchmark.
-type SinkerOptions = model.SinkerOptions
+// StokesBackend executes the inner Krylov solves of a model's nonlinear
+// Stokes stage; see SharedBackend and DistributedBackend.
+type StokesBackend = model.StokesBackend
 
-// RiftOptions parametrizes the §V continental rifting model.
-type RiftOptions = model.RiftOptions
+// DistributedBackend runs the Stokes solves rank-distributed over the
+// simulated MPI fabric.
+type DistributedBackend = model.DistributedBackend
+
+// NewDistributedBackend builds a backend over a px×py×pz rank grid.
+func NewDistributedBackend(px, py, pz int, opts stokes.DistOptions) *DistributedBackend {
+	return model.NewDistributedBackend(px, py, pz, opts)
+}
+
+// Scenario types: declarative model descriptions that compile into a
+// ready-to-step Model (see internal/scenario).
+type (
+	// Scenario is a declarative model description.
+	Scenario = scenario.Spec
+	// SinkerOptions parametrizes the §IV-A sedimentation benchmark.
+	SinkerOptions = scenario.SinkerOptions
+	// RiftOptions parametrizes the §V continental rifting model.
+	RiftOptions = scenario.RiftOptions
+)
+
+// Scenarios lists the registered scenario names.
+func Scenarios() []string { return scenario.Names() }
+
+// GetScenario returns a fresh copy of a registered scenario spec.
+func GetScenario(name string) (Scenario, error) { return scenario.Get(name) }
+
+// CompileScenario lowers a spec into a ready-to-step model.
+func CompileScenario(s Scenario, workers int) (*Model, error) { return scenario.Compile(s, workers) }
 
 // DefaultSinkerOptions returns the paper's sinker configuration at
 // reduced default resolution.
-func DefaultSinkerOptions() SinkerOptions { return model.DefaultSinkerOptions() }
+func DefaultSinkerOptions() SinkerOptions { return scenario.DefaultSinkerOptions() }
 
 // DefaultRiftOptions returns the reduced-scale rift configuration.
-func DefaultRiftOptions() RiftOptions { return model.DefaultRiftOptions() }
+func DefaultRiftOptions() RiftOptions { return scenario.DefaultRiftOptions() }
 
-// NewSinker builds the sedimentation model.
-func NewSinker(o SinkerOptions) *Model { return model.NewSinker(o) }
+// NewSinker builds the sedimentation model (compiled from the "sinker"
+// scenario spec).
+func NewSinker(o SinkerOptions) *Model { return scenario.NewSinker(o) }
 
-// NewRift builds the continental rifting model.
-func NewRift(o RiftOptions) *Model { return model.NewRift(o) }
+// NewRift builds the continental rifting model (compiled from the
+// "rift" scenario spec).
+func NewRift(o RiftOptions) *Model { return scenario.NewRift(o) }
 
 // Mesh types.
 type (

@@ -10,8 +10,8 @@ import (
 	"ptatin3d/internal/comm"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
-	"ptatin3d/internal/model"
 	"ptatin3d/internal/op"
+	"ptatin3d/internal/scenario"
 	"ptatin3d/internal/stokes"
 	"ptatin3d/internal/telemetry"
 )
@@ -19,12 +19,12 @@ import (
 // sinker3Problem builds the 3-sinker §IV-B configuration with projected
 // coefficients installed, the same geometry the golden_sinker3 record pins.
 func sinker3Problem() *fem.Problem {
-	o := model.DefaultSinkerOptions()
+	o := scenario.DefaultSinkerOptions()
 	o.M = 8
 	o.Nc = 3
 	o.Rc = 0.18
 	o.DeltaEta = 100
-	mdl := model.NewSinker(o)
+	mdl := scenario.NewSinker(o)
 	mdl.UpdateCoefficients(la.NewVec(mdl.Prob.DA.NVelDOF()+mdl.Prob.DA.NPresDOF()), false)
 	return mdl.Prob
 }

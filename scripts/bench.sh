@@ -1,20 +1,19 @@
 #!/usr/bin/env bash
-# Machine-readable benchmark for the current PR: times the multigrid
-# V-cycle smoother configurations of the mixed-precision work — the
-# unblocked f64 baseline every earlier PR benchmarked, the cache-blocked
-# f64 wavefront smoother, and the cache-blocked float32 hierarchy — and
-# runs the Δη=10⁶ sinker contrast solve in both precisions to record
-# outer-iteration parity. Writes BENCH_PR7.json (ptatin-opcost -vcycle):
-# fine-smoother and whole-V-cycle times per configuration, the headline
-# blocked/f32 speedups (target: ≥2x on the smoother), and the f64-vs-f32
-# FGMRES iteration counts.
+# Machine-readable benchmark for the current PR: end-to-end coupled step
+# time through the unified scenario driver. Runs the sinker scenario for
+# a few full time steps (MPM projection, rheology, nonlinear Stokes,
+# free surface) on the shared-memory backend and rank-distributed over a
+# 2x1x1 simulated world, and writes both run records — per-step wall
+# time, Newton/Krylov iteration counts and fabric traffic — to
+# BENCH_PR8.json.
 #
-# Usage: scripts/bench.sh [outfile] [m]
-#   outfile   destination JSON (default BENCH_PR7.json in the repo root)
-#   m         fine-grid elements per direction (default 16; the timing
-#             grid — the parity solve is fixed at 8³)
+# Usage: scripts/bench.sh [outfile] [m] [steps]
+#   outfile   destination JSON (default BENCH_PR8.json in the repo root)
+#   m         elements per direction (default 16)
+#   steps     time steps per backend (default 3)
 #
 # Previous PR benchmarks remain available:
+#   BENCH_PR7: go run ./cmd/ptatin-opcost -vcycle -m 16 -workers 1 -reps 5
 #   BENCH_PR6: go run ./cmd/ptatin-scaling -sweep -json
 #   BENCH_PR5: go run ./cmd/ptatin-scaling -json -ranks 2x2x1 -grids 8,16
 #   BENCH_PR4: go run ./cmd/ptatin-opcost -json
@@ -22,9 +21,29 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 m="${2:-16}"
+steps="${3:-3}"
 
-go run ./cmd/ptatin-opcost -vcycle -m "$m" -workers 1 -reps 5 > "$out"
+tmp_shared=$(mktemp)
+tmp_dist=$(mktemp)
+trap 'rm -f "$tmp_shared" "$tmp_dist"' EXIT
+
+go run ./cmd/ptatin-run -scenario sinker -res "$m" -steps "$steps" \
+    -json "$tmp_shared" > /dev/null
+go run ./cmd/ptatin-run -scenario sinker -res "$m" -steps "$steps" \
+    -ranks 2x1x1 -json "$tmp_dist" > /dev/null
+
+# Bundle the two run records into one file.
+{
+    echo '{'
+    echo '  "shared":'
+    sed 's/^/  /' "$tmp_shared"
+    echo '  ,'
+    echo '  "distributed":'
+    sed 's/^/  /' "$tmp_dist"
+    echo '}'
+} > "$out"
+
 echo "wrote $out:"
-head -n 12 "$out"
+head -n 14 "$out"

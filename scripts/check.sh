@@ -51,6 +51,9 @@ go test -race \
 echo "== blocked smoother bench smoke (fails on >10% blocked-vs-unblocked regression) =="
 go run ./cmd/ptatin-opcost -vcycle -m 12 -levels 2 -reps 3 -vcycle-parity=false -vcycle-gate 1.1 > /dev/null
 
+echo "== scenario smoke: every registered spec, 2 steps, shared + distributed =="
+go run ./cmd/ptatin-run -smoke -workers 2
+
 echo "== rank-distributed solve under -race =="
 go run -race ./cmd/ptatin-scaling -ranks 2x1x1 -grids 8
 
