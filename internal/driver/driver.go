@@ -106,6 +106,16 @@ type StepRecord struct {
 	HaloMsgs   int64   `json:"halo_msgs,omitempty"`
 	HaloBytes  int64   `json:"halo_bytes,omitempty"`
 	AllReduces int64   `json:"allreduces,omitempty"`
+	// Per-stage wall seconds of the step pipeline, and the count of
+	// relinearizations that reused the cached Stokes setup.
+	RheologyS         float64 `json:"rheology_s"`
+	MPMProjectS       float64 `json:"mpm_project_s"`
+	StokesSetupS      float64 `json:"stokes_setup_s"`
+	StokesKrylovS     float64 `json:"stokes_krylov_s"`
+	AdvectS           float64 `json:"advect_s"`
+	ALES              float64 `json:"ale_s"`
+	ThermalS          float64 `json:"thermal_s"`
+	StokesSetupReused int64   `json:"stokes_setup_reused"`
 }
 
 // RunRecord is the end-to-end JSON emitted on JSONOut.
@@ -163,6 +173,14 @@ func Run(m *model.Model, cfg Config) error {
 			WallS:   wall,
 			Backend: st.Backend, Ranks: st.Ranks,
 			HaloMsgs: st.HaloMsgs, HaloBytes: st.HaloBytes, AllReduces: st.AllReduces,
+			RheologyS:         st.RheologyTime.Seconds(),
+			MPMProjectS:       st.ProjectTime.Seconds(),
+			StokesSetupS:      st.StokesSetupTime.Seconds(),
+			StokesKrylovS:     st.StokesKrylovTime.Seconds(),
+			AdvectS:           st.AdvectTime.Seconds(),
+			ALES:              st.ALETime.Seconds(),
+			ThermalS:          st.ThermalTime.Seconds(),
+			StokesSetupReused: st.StokesSetupReused,
 		})
 		if cfg.CheckpointEvery > 0 && m.StepNum%cfg.CheckpointEvery == 0 {
 			path := cfg.CheckpointPath

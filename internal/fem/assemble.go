@@ -74,12 +74,24 @@ func nodePattern(p *Problem, i, j, k int) vpattern {
 	return v
 }
 
-// AssembleViscous assembles the viscous block into a CSR matrix with
-// symmetric Dirichlet elimination (constrained rows/columns removed, unit
-// diagonal on constrained rows). The sparsity is derived analytically from
-// the structured topology, so no intermediate hash maps are needed; rows
-// have between 81 and 375 nonzeros exactly as stated in paper §III-D.
-func AssembleViscous(p *Problem) *la.CSR {
+// ViscousAssembly caches the analytic sparsity of the viscous block so
+// the numeric values can be refreshed in place per relinearization: the
+// pattern (RowPtr/ColInd and the per-node coupled boxes) depends only on
+// the structured topology and the constraint mask, while the values
+// depend on the per-step coefficients and coordinates. Rebuilding only
+// the values is what makes per-step assembled levels cheap in the time
+// loop.
+type ViscousAssembly struct {
+	p    *Problem
+	pats []vpattern
+	// A is the assembled matrix; Refresh overwrites A.Val in place.
+	A *la.CSR
+}
+
+// NewViscousAssembly derives the sparsity (paper §III-D: rows have
+// between 81 and 375 nonzeros, analytically from the structured
+// topology — no intermediate hash maps) and leaves the values zero.
+func NewViscousAssembly(p *Problem) *ViscousAssembly {
 	da := p.DA
 	nn := da.NNodes()
 	ndof := 3 * nn
@@ -102,7 +114,6 @@ func AssembleViscous(p *Problem) *la.CSR {
 	a.Val = make([]float64, a.RowPtr[ndof])
 	// Fill sorted column indices (same box for the 3 component rows).
 	par.ForItems(p.Workers, nn, func(n int) { // setup-only: not a hot path
-
 		v := &pats[n]
 		pos := a.RowPtr[3*n]
 		row := a.ColInd[pos : pos+(a.RowPtr[3*n+1]-a.RowPtr[3*n])]
@@ -121,45 +132,59 @@ func AssembleViscous(p *Problem) *la.CSR {
 		copy(a.ColInd[a.RowPtr[3*n+1]:a.RowPtr[3*n+2]], row)
 		copy(a.ColInd[a.RowPtr[3*n+2]:a.RowPtr[3*n+3]], row)
 	})
-	// Numeric pass: colored element loop scatter-adds element matrices.
+	return &ViscousAssembly{p: p, pats: pats, A: a}
+}
+
+// Refresh recomputes the values from the problem's current coefficients
+// and coordinates into the cached sparsity. The colored element schedule
+// touches each stored entry in a fixed per-color order, so the result is
+// bit-identical at any worker count and to a from-scratch assembly.
+func (va *ViscousAssembly) Refresh() {
+	p, a, pats := va.p, va.A, va.pats
+	da := p.DA
 	mask := p.BC.Mask
-	p.forEachElementColored(func(e int) {
+	for i := range a.Val {
+		a.Val[i] = 0
+	}
+	// Numeric pass: colored element loop scatter-adds element matrices.
+	// The element matrix scratch is per chunk, not per element.
+	p.forEachElementColoredChunk(func(elems []int32) {
 		var xe [81]float64
-		p.gatherCoords(e, &xe)
 		ae := make([]float64, 81*81)
-		ElementViscousMatrix(&xe, p.Eta[NQP*e:NQP*e+NQP], ae)
-		em := p.Emap[27*e : 27*e+27]
-		for li := 0; li < 27; li++ {
-			ni := int(em[li])
-			gi, gj, gk := da.NodeIJK(ni)
-			v := &pats[ni]
-			nxc := v.ihi - v.ilo + 1
-			nyc := v.jhi - v.jlo + 1
-			_ = gi
-			_ = gj
-			_ = gk
-			for a2 := 0; a2 < 3; a2++ {
-				r := 3*ni + a2
-				if mask[r] {
-					continue
-				}
-				base := a.RowPtr[r]
-				arow := ae[(3*li+a2)*81:]
-				for ln := 0; ln < 27; ln++ {
-					nj := int(em[ln])
-					ci, cj, ck := da.NodeIJK(nj)
-					off := base + (((ck-v.klo)*nyc+(cj-v.jlo))*nxc+(ci-v.ilo))*3
-					for b := 0; b < 3; b++ {
-						if mask[3*nj+b] {
-							continue
+		for _, e32 := range elems {
+			e := int(e32)
+			p.gatherCoords(e, &xe)
+			ElementViscousMatrix(&xe, p.Eta[NQP*e:NQP*e+NQP], ae)
+			em := p.Emap[27*e : 27*e+27]
+			for li := 0; li < 27; li++ {
+				ni := int(em[li])
+				v := &pats[ni]
+				nxc := v.ihi - v.ilo + 1
+				nyc := v.jhi - v.jlo + 1
+				for a2 := 0; a2 < 3; a2++ {
+					r := 3*ni + a2
+					if mask[r] {
+						continue
+					}
+					base := a.RowPtr[r]
+					arow := ae[(3*li+a2)*81:]
+					for ln := 0; ln < 27; ln++ {
+						nj := int(em[ln])
+						ci, cj, ck := da.NodeIJK(nj)
+						off := base + (((ck-v.klo)*nyc+(cj-v.jlo))*nxc+(ci-v.ilo))*3
+						for b := 0; b < 3; b++ {
+							if mask[3*nj+b] {
+								continue
+							}
+							a.Val[off+b] += arow[3*ln+b]
 						}
-						a.Val[off+b] += arow[3*ln+b]
 					}
 				}
 			}
 		}
 	})
 	// Unit diagonal on constrained rows.
+	ndof := a.NRows
 	for r := 0; r < ndof; r++ {
 		if !mask[r] {
 			continue
@@ -171,7 +196,15 @@ func AssembleViscous(p *Problem) *la.CSR {
 			}
 		}
 	}
-	return a
+}
+
+// AssembleViscous assembles the viscous block into a CSR matrix with
+// symmetric Dirichlet elimination (constrained rows/columns removed, unit
+// diagonal on constrained rows).
+func AssembleViscous(p *Problem) *la.CSR {
+	va := NewViscousAssembly(p)
+	va.Refresh()
+	return va.A
 }
 
 // AsmOp wraps an assembled CSR viscous block as an Operator, applying the

@@ -101,6 +101,20 @@ func (p *Problem) forEachElementColored(body func(e int)) {
 	}
 }
 
+// forEachElementColoredChunk is forEachElementColored at chunk
+// granularity: colors run sequentially, chunks within a color
+// concurrently, and body receives each chunk's element list — so loops
+// needing per-element scratch can allocate it once per chunk instead of
+// once per element.
+func (p *Problem) forEachElementColoredChunk(body func(elems []int32)) {
+	for c := 0; c < 8; c++ {
+		elems := p.colorElems[p.colorOff[c]:p.colorOff[c+1]]
+		par.For(p.Workers, len(elems), func(lo, hi int) {
+			body(elems[lo:hi])
+		})
+	}
+}
+
 // forEachElement runs body(e) over all elements in parallel with no
 // scatter protection (used for loops writing only element-local data).
 func (p *Problem) forEachElement(body func(e int)) {

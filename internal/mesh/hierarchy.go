@@ -36,6 +36,24 @@ func (da *DA) Coarsen() *DA {
 	return c
 }
 
+// RefreshCoarsenCoords re-injects the coarse nodal coordinates from the
+// fine mesh — the same rule Coarsen applies at construction — after the
+// fine coordinates have moved (ALE remeshing). The hierarchy stays
+// nodally nested without rebuilding any topology.
+func RefreshCoarsenCoords(fine, coarse *DA) {
+	for k := 0; k < coarse.NPz; k++ {
+		for j := 0; j < coarse.NPy; j++ {
+			for i := 0; i < coarse.NPx; i++ {
+				cn := coarse.NodeID(i, j, k)
+				fn := fine.NodeID(2*i, 2*j, 2*k)
+				coarse.Coords[3*cn] = fine.Coords[3*fn]
+				coarse.Coords[3*cn+1] = fine.Coords[3*fn+1]
+				coarse.Coords[3*cn+2] = fine.Coords[3*fn+2]
+			}
+		}
+	}
+}
+
 // Hierarchy builds a nested hierarchy of nlevels meshes, finest first.
 // It panics if the mesh cannot be coarsened nlevels-1 times.
 func Hierarchy(fine *DA, nlevels int) []*DA {
@@ -71,6 +89,23 @@ func InjectNodalScalar(fine, coarse *DA, ffield, cfield []float64) {
 		for j := 0; j < coarse.NPy; j++ {
 			for i := 0; i < coarse.NPx; i++ {
 				cfield[coarse.NodeID(i, j, k)] = ffield[fine.NodeID(2*i, 2*j, 2*k)]
+			}
+		}
+	}
+}
+
+// RefreshCoarsenBCVals re-inherits the coarse boundary *values* from the
+// fine level after they changed (time-dependent boundary conditions).
+// The masks are part of the cached solver topology and must not change.
+func RefreshCoarsenBCVals(fine, coarse *DA, fbc, cbc *BC) {
+	for k := 0; k < coarse.NPz; k++ {
+		for j := 0; j < coarse.NPy; j++ {
+			for i := 0; i < coarse.NPx; i++ {
+				cn := coarse.NodeID(i, j, k)
+				fn := fine.NodeID(2*i, 2*j, 2*k)
+				for c := 0; c < 3; c++ {
+					cbc.Val[3*cn+c] = fbc.Val[3*fn+c]
+				}
 			}
 		}
 	}

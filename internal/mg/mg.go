@@ -58,6 +58,11 @@ type MG struct {
 	// production pairing (see TestWCycle).
 	Gamma int
 
+	// EigIts is the power-iteration count used for λmax when smoothers
+	// are (re)built; Build records its option here so Refresh reproduces
+	// the same spectrum estimate.
+	EigIts int
+
 	tel     []levelTel         // per-level instrument handles; empty when telemetry off
 	cycles  *telemetry.Counter // V-cycles started
 	coarseT *telemetry.Timer   // coarse-solve wall time
@@ -168,7 +173,7 @@ func Build(probs []*fem.Problem, opt Options) (*MG, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = 1
 	}
-	m := &MG{CyclesPerApply: 1}
+	m := &MG{CyclesPerApply: 1, EigIts: opt.EigIts}
 	for l, p := range probs {
 		p.Workers = opt.Workers
 		lev := &Level{Prob: p}
@@ -263,6 +268,45 @@ func levelKind(k op.Kind, needCSR bool, opt Options) op.Kind {
 		return op.TensorC
 	}
 	return k
+}
+
+// Refresh re-derives every level's numeric content from the (already
+// updated) per-level problem coefficients, in place: operators refresh
+// finest→coarsest so Galerkin levels read the refreshed finer matrix,
+// then each level's smoother is rebuilt exactly as Build builds it — same
+// Jacobi diagonal, same deterministic λmax power iteration, same
+// Chebyshev interval and step count — so a refreshed hierarchy is
+// bit-identical to one constructed cold on the same coefficients. The
+// transfer operators, work vectors and coarse-solver wiring are purely
+// topological and survive untouched (the caller owns CoarseSolve and must
+// rebuild it from the refreshed coarsest matrix).
+func (m *MG) Refresh() error {
+	eig := m.EigIts
+	if eig <= 0 {
+		eig = 10
+	}
+	for l, lev := range m.Levels {
+		if err := op.Refresh(lev.Op); err != nil {
+			return fmt.Errorf("mg: level %d refresh: %w", l, err)
+		}
+		n := lev.Op.N()
+		diag := la.NewVec(n)
+		lev.Op.Diag(diag)
+		jac := krylov.NewJacobi(diag)
+		lmax := krylov.EstimateLambdaMax(lev.Op, jac, eig)
+		steps := lev.Smoother.Steps
+		noFinal := lev.Smoother.NoFinalResidual
+		lev.Smoother = krylov.NewChebyshev(lev.Op, jac, lmax, steps)
+		lev.Smoother.NoFinalResidual = noFinal
+		if lev.Blocked != nil {
+			res := op.ResidentOf(lev.Op)
+			if res == nil {
+				return fmt.Errorf("mg: level %d lost its resident backing on refresh", l)
+			}
+			lev.Blocked = fem.NewBlockedChebyshev(res, jac.InvDiag, lmax, steps)
+		}
+	}
+	return nil
 }
 
 // SelectionReport collects the op.Auto decisions of every level that has

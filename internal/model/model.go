@@ -17,6 +17,7 @@ import (
 	"ptatin3d/internal/mg"
 	"ptatin3d/internal/mpm"
 	"ptatin3d/internal/nonlinear"
+	"ptatin3d/internal/par"
 	"ptatin3d/internal/rheology"
 	"ptatin3d/internal/stokes"
 	"ptatin3d/internal/telemetry"
@@ -68,6 +69,11 @@ type Model struct {
 	MinPointsPerElement int
 	// Nonlinear controls the outer Newton/Picard iteration.
 	Nonlinear nonlinear.Options
+	// DisableSetupCache forces a cold Stokes solver build on every
+	// relinearization (the pre-amortization behaviour). The cached
+	// refresh is bit-identical, so this exists only as the A/B reference
+	// for tests and debugging.
+	DisableSetupCache bool
 
 	// Telemetry, when non-nil, receives per-step instrumentation: a "step"
 	// timer, "steps" counter, material-point accounting counters
@@ -84,6 +90,28 @@ type Model struct {
 
 	// Cached vertex coefficient fields (projection fallbacks).
 	etaV, rhoV []float64
+
+	// stokesCtx keeps the configured Stokes solver stack alive across
+	// relinearizations and time steps; Prepare refreshes coefficients in
+	// place instead of rebuilding topology (paper §III-A: relinearization
+	// changes the coefficients, never the discretization). ALE mesh
+	// motion is announced through InvalidateGeometry.
+	stokesCtx stokes.Context
+	// projector caches the point→vertex incidence of the Eq. 12
+	// projection between the η and ρ passes of one relinearization and
+	// across relinearizations within a step (points only move in the
+	// advection stage).
+	projector *mpm.Projector
+	// stage accumulates per-stage wall time for the step in flight;
+	// StepForward resets it and publishes the totals.
+	stage stageTimes
+}
+
+// stageTimes breaks one time step's wall clock into pipeline stages.
+type stageTimes struct {
+	rheology, project, stokesSetup, stokesKrylov time.Duration
+	advect, ale, thermal                         time.Duration
+	setupReused                                  int64
 }
 
 // StepStats records one time step's solver behaviour — the per-step
@@ -109,6 +137,17 @@ type StepStats struct {
 	HaloMsgs   int64
 	HaloBytes  int64
 	AllReduces int64
+	// Per-stage wall times of the step pipeline (the -json breakdown).
+	RheologyTime     time.Duration
+	ProjectTime      time.Duration
+	StokesSetupTime  time.Duration
+	StokesKrylovTime time.Duration
+	AdvectTime       time.Duration
+	ALETime          time.Duration
+	ThermalTime      time.Duration
+	// StokesSetupReused counts the step's relinearizations served by
+	// refreshing the cached solver stack instead of a cold build.
+	StokesSetupReused int64
 }
 
 // pointState evaluates the rheological state of material point i for the
@@ -143,41 +182,53 @@ func (m *Model) UpdateCoefficients(x la.Vec, wantDeriv bool) (facQP []float64) {
 	if wantDeriv {
 		facP = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		st := m.pointState(x, i)
-		l := &m.Lith[pts.Litho[i]]
-		if wantDeriv {
-			eta, d := l.EffectiveViscosityDerivative(st)
-			etaP[i] = eta
-			eII := st.StrainRateII
-			if eII < 1e-12 {
-				eII = 1e-12
+	// Per-point rheology evaluation: each point reads the shared state
+	// (x, coordinates, temperature) and writes only its own slots, so the
+	// loop parallelizes with no change in any point's arithmetic.
+	t0 := time.Now()
+	par.For(max(1, m.Workers), n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st := m.pointState(x, i)
+			l := &m.Lith[pts.Litho[i]]
+			if wantDeriv {
+				eta, d := l.EffectiveViscosityDerivative(st)
+				etaP[i] = eta
+				eII := st.StrainRateII
+				if eII < 1e-12 {
+					eII = 1e-12
+				}
+				// Tangent safeguard: along the current strain-rate direction
+				// the Newton operator's modulus is 2(η + η′·ε̇); on the
+				// Drucker–Prager branch η′ = −η/ε̇ makes it exactly zero
+				// (perfect plasticity), and projection smearing can push it
+				// negative — an indefinite Krylov operator that the Picard
+				// preconditioner cannot handle. Keep 10% of the Picard
+				// stiffness: η′ ≥ −0.9·η/ε̇.
+				if lo := -0.9 * eta / eII; d < lo {
+					d = lo
+				}
+				facP[i] = d / eII
+			} else {
+				etaP[i], _ = l.EffectiveViscosity(st)
 			}
-			// Tangent safeguard: along the current strain-rate direction
-			// the Newton operator's modulus is 2(η + η′·ε̇); on the
-			// Drucker–Prager branch η′ = −η/ε̇ makes it exactly zero
-			// (perfect plasticity), and projection smearing can push it
-			// negative — an indefinite Krylov operator that the Picard
-			// preconditioner cannot handle. Keep 10% of the Picard
-			// stiffness: η′ ≥ −0.9·η/ε̇.
-			if lo := -0.9 * eta / eII; d < lo {
-				d = lo
-			}
-			facP[i] = d / eII
-		} else {
-			etaP[i], _ = l.EffectiveViscosity(st)
+			rhoP[i] = l.Density(st)
 		}
-		rhoP[i] = l.Density(st)
+	})
+	m.stage.rheology += time.Since(t0)
+	t1 := time.Now()
+	if m.projector == nil {
+		m.projector = mpm.NewProjector(m.Prob)
 	}
-	m.etaV, m.rhoV = mpm.ProjectLithologyFields(m.Prob, pts,
+	m.etaV, m.rhoV = m.projector.ProjectLithologyFields(pts,
 		func(i int) float64 { return etaP[i] },
 		func(i int) float64 { return rhoP[i] },
 		m.etaV, m.rhoV)
 	if wantDeriv {
-		facV := mpm.ProjectToVertices(m.Prob, pts, func(i int) float64 { return facP[i] }, nil)
+		facV := m.projector.Project(pts, func(i int) float64 { return facP[i] }, nil)
 		facQP = make([]float64, fem.NQP*m.Prob.DA.NElements())
 		fem.VertexToQP(m.Prob, facV, facQP)
 	}
+	m.stage.project += time.Since(t1)
 	return facQP
 }
 
@@ -233,13 +284,30 @@ func (m *Model) SolveStokes() (nonlinear.Result, error) {
 			if cfg.Telemetry == nil {
 				cfg.Telemetry = m.Telemetry.Child("stokes")
 			}
-			s, err := stokes.New(prob, cfg)
+			t0 := time.Now()
+			var (
+				s      *stokes.Solver
+				reused bool
+				err    error
+			)
+			if m.DisableSetupCache {
+				s, err = stokes.New(prob, cfg)
+			} else {
+				s, reused, err = m.stokesCtx.Prepare(prob, cfg)
+			}
+			m.stage.stokesSetup += time.Since(t0)
 			if err != nil {
 				buildErr = err
 				prepared = nil
 				// Fall back to identity so the outer loop can terminate.
 				id := krylov.OpFunc{Dim: ncoup, F: func(a, b la.Vec) { b.Copy(a) }}
 				return id, krylov.Identity{}
+			}
+			if reused {
+				m.stage.setupReused++
+				if tel := m.Telemetry; tel != nil {
+					tel.Counter("stokes_setup_reused").Inc()
+				}
 			}
 			m.LastStokes = s
 			prepared = s
@@ -255,10 +323,19 @@ func (m *Model) SolveStokes() (nonlinear.Result, error) {
 		Method:      "fgmres",
 		InnerParams: m.Cfg.EffectiveParams(),
 	}
-	if m.Backend != nil {
-		sys.Inner = func(method string, jop krylov.Op, pc krylov.Preconditioner, rhs, delta la.Vec, prm krylov.Params) krylov.Result {
-			return m.Backend.LinearSolve(prepared, method, jop, pc, rhs, delta, prm)
+	// The inner hook is always installed so the Krylov stage is timed on
+	// every path; the nil-backend case runs SharedBackend, which is the
+	// nonlinear package's built-in inner solve verbatim.
+	sys.Inner = func(method string, jop krylov.Op, pc krylov.Preconditioner, rhs, delta la.Vec, prm krylov.Params) krylov.Result {
+		t0 := time.Now()
+		var r krylov.Result
+		if m.Backend != nil {
+			r = m.Backend.LinearSolve(prepared, method, jop, pc, rhs, delta, prm)
+		} else {
+			r = SharedBackend{}.LinearSolve(prepared, method, jop, pc, rhs, delta, prm)
 		}
+		m.stage.stokesKrylov += time.Since(t0)
+		return r
 	}
 	res := nonlinear.Solve(sys, m.X, m.Nonlinear)
 	if tel := m.Telemetry; tel != nil {
@@ -305,6 +382,7 @@ func (m *Model) minCellSize() float64 {
 func (m *Model) StepForward() error {
 	start := time.Now()
 	stepStart := m.Telemetry.Timer("step").Start()
+	m.stage = stageTimes{}
 	res, err := m.SolveStokes()
 	if err != nil {
 		return err
@@ -333,16 +411,22 @@ func (m *Model) StepForward() error {
 	}
 
 	// Accumulate plastic strain on yielding points (history variable
-	// update of §V-A) using the converged state.
-	for i := 0; i < m.Points.Len(); i++ {
-		st := m.pointState(m.X, i)
-		l := &m.Lith[m.Points.Litho[i]]
-		if _, yielding := l.EffectiveViscosity(st); yielding {
-			m.Points.Plastic[i] += dt * st.StrainRateII
+	// update of §V-A) using the converged state. Each point writes only
+	// its own slot, so the loop runs on the worker pool.
+	tPlastic := time.Now()
+	par.For(max(1, m.Workers), m.Points.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st := m.pointState(m.X, i)
+			l := &m.Lith[m.Points.Litho[i]]
+			if _, yielding := l.EffectiveViscosity(st); yielding {
+				m.Points.Plastic[i] += dt * st.StrainRateII
+			}
 		}
-	}
+	})
+	m.stage.rheology += time.Since(tPlastic)
 
 	// Advect material points; outflow points are removed (§II-D).
+	tAdvect := time.Now()
 	advected := m.Points.Len()
 	removed := 0
 	mpm.AdvectRK2(m.Prob, u, dt, m.Points, max(1, m.Workers))
@@ -356,32 +440,42 @@ func (m *Model) StepForward() error {
 		nper := 2
 		mpm.EnsureMinPerElement(m.Prob, m.Points, m.MinPointsPerElement, nper)
 	}
+	if m.projector != nil {
+		m.projector.Invalidate()
+	}
+	m.stage.advect += time.Since(tAdvect)
 
 	// ALE free surface update; every point must be relocated afterwards
-	// because the mesh under it moved.
+	// because the mesh under it moved. Relocation is two-phase: the
+	// location walks run on the worker pool (each point touches only its
+	// own slots), then the lost points are removed by a serial descending
+	// sweep — the exact removal sequence of the original per-point loop.
 	var topoMin, topoMax float64
 	relocated := 0
 	if m.FreeSurface {
+		tALE := time.Now()
 		meshUpdateFreeSurface(m, u, dt)
-		for i := m.Points.Len() - 1; i >= 0; i-- {
-			e, xi, et, ze, ok := mpm.Locate(m.Prob, m.Points.X[i], m.Points.Y[i], m.Points.Z[i], int(m.Points.Elem[i]))
-			if !ok {
-				m.Points.RemoveSwap(i)
-				removed++
-				continue
-			}
-			relocated++
-			m.Points.Elem[i] = int32(e)
-			m.Points.Xi[i], m.Points.Et[i], m.Points.Ze[i] = xi, et, ze
+		lost := mpm.LocateAll(m.Prob, m.Points)
+		relocated = m.Points.Len() - len(lost)
+		for k := len(lost) - 1; k >= 0; k-- {
+			m.Points.RemoveSwap(lost[k])
+			removed++
 		}
+		if m.projector != nil {
+			m.projector.Invalidate()
+		}
+		m.stokesCtx.InvalidateGeometry()
+		m.stage.ale += time.Since(tALE)
 	}
 	topoMin, topoMax = surfaceRange(m)
 
 	// Energy equation.
 	if m.T != nil && m.Temp != nil {
+		tThermal := time.Now()
 		if err := m.T.Step(m.Temp, u, dt); err != nil {
 			return fmt.Errorf("model: thermal step: %w", err)
 		}
+		m.stage.thermal += time.Since(tThermal)
 	}
 
 	if tel := m.Telemetry; tel != nil {
@@ -393,6 +487,14 @@ func (m *Model) StepForward() error {
 		tel.Gauge("points").Set(float64(m.Points.Len()))
 		tel.Counter("krylov_its").Add(int64(res.KrylovIts))
 		tel.Counter("newton_its").Add(int64(res.Iterations))
+		stage := tel.Child("step")
+		stage.Timer("rheology").Observe(m.stage.rheology)
+		stage.Timer("mpm_project").Observe(m.stage.project)
+		stage.Timer("stokes_setup").Observe(m.stage.stokesSetup)
+		stage.Timer("stokes_krylov").Observe(m.stage.stokesKrylov)
+		stage.Timer("advect").Observe(m.stage.advect)
+		stage.Timer("ale").Observe(m.stage.ale)
+		stage.Timer("thermal").Observe(m.stage.thermal)
 	}
 
 	m.Time += dt
@@ -404,7 +506,15 @@ func (m *Model) StepForward() error {
 		SolveTime:  time.Since(start),
 		PointCount: m.Points.Len(),
 		TopoMin:    topoMin, TopoMax: topoMax,
-		Backend: "shared",
+		Backend:           "shared",
+		RheologyTime:      m.stage.rheology,
+		ProjectTime:       m.stage.project,
+		StokesSetupTime:   m.stage.stokesSetup,
+		StokesKrylovTime:  m.stage.stokesKrylov,
+		AdvectTime:        m.stage.advect,
+		ALETime:           m.stage.ale,
+		ThermalTime:       m.stage.thermal,
+		StokesSetupReused: m.stage.setupReused,
 	}
 	if m.Backend != nil {
 		st.Backend = m.Backend.Name()

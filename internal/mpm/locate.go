@@ -5,6 +5,7 @@ import (
 
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/la"
+	"ptatin3d/internal/par"
 )
 
 // Point location (paper §II-D): given a physical position, find the
@@ -171,14 +172,25 @@ func guessElement(prob *fem.Problem, x, y, z float64) int {
 // list of indices (the Ls list of §II-D, in the single-rank view; with a
 // domain decomposition, MigratePoints routes them to neighbour ranks
 // first and only then discards true outflow).
+// Each point's walk is independent and writes only its own slots, so the
+// location pass runs on the worker pool; the lost list is assembled by a
+// serial sweep afterwards so it is always in ascending index order,
+// exactly as the serial loop produced it.
 func LocateAll(prob *fem.Problem, pts *Points) (lost []int) {
-	for i := 0; i < pts.Len(); i++ {
-		e, xi, et, ze, ok := Locate(prob, pts.X[i], pts.Y[i], pts.Z[i], int(pts.Elem[i]))
-		if ok {
-			pts.Elem[i] = int32(e)
-			pts.Xi[i], pts.Et[i], pts.Ze[i] = xi, et, ze
-		} else {
-			pts.Elem[i] = -1
+	n := pts.Len()
+	par.For(prob.Workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e, xi, et, ze, ok := Locate(prob, pts.X[i], pts.Y[i], pts.Z[i], int(pts.Elem[i]))
+			if ok {
+				pts.Elem[i] = int32(e)
+				pts.Xi[i], pts.Et[i], pts.Ze[i] = xi, et, ze
+			} else {
+				pts.Elem[i] = -1
+			}
+		}
+	})
+	for i := 0; i < n; i++ {
+		if pts.Elem[i] < 0 {
 			lost = append(lost, i)
 		}
 	}

@@ -512,6 +512,14 @@ func (o *AutoOp) ForceCommit() {
 	}
 }
 
+// Refresh forwards to the committed representation, forcing commitment
+// first so a refreshed hierarchy never re-runs candidate trials against
+// stale cached values.
+func (o *AutoOp) Refresh() error {
+	o.ForceCommit()
+	return Refresh(o.committed)
+}
+
 // Committed reports the chosen representation (Auto if undecided).
 func (o *AutoOp) Committed() Kind {
 	if o.committed == nil {

@@ -160,6 +160,7 @@ type asmOp struct {
 	p       *fem.Problem
 	workers int
 	mf      *fem.TensorOp
+	va      *fem.ViscousAssembly
 	a       *la.CSR
 	setupT  time.Duration
 }
@@ -173,9 +174,23 @@ func (o *asmOp) N() int { return o.p.DA.NVelDOF() }
 func (o *asmOp) Setup() error {
 	if o.a == nil {
 		start := time.Now()
-		o.a = fem.AssembleViscous(o.p)
+		o.va = fem.NewViscousAssembly(o.p)
+		o.va.Refresh()
+		o.a = o.va.A
 		o.setupT = time.Since(start)
 	}
+	return nil
+}
+
+// Refresh recomputes the CSR values in place from the problem's current
+// coefficients, reusing the cached sparsity.
+func (o *asmOp) Refresh() error {
+	if o.a == nil {
+		return o.Setup()
+	}
+	start := time.Now()
+	o.va.Refresh()
+	o.setupT = time.Since(start)
 	return nil
 }
 
@@ -203,11 +218,22 @@ func (o *asmOp) CSR() *la.CSR { o.Setup(); return o.a }
 func (o *asmOp) SetupTime() time.Duration { return o.setupT }
 
 // galerkinOp builds the CSR operator as the Galerkin triple product
-// Pᵀ·A_fine·P of the next-finer level's assembled matrix.
+// Pᵀ·A_fine·P of the next-finer level's assembled matrix. The symbolic
+// structure of the product (and of the constrained-diagonal augmentation)
+// depends only on the sparsity patterns, so it is cached at Setup and the
+// values are replayed in place by Refresh — bit-identical to a rebuild.
 type galerkinOp struct {
 	env    Env
 	a      *la.CSR
 	setupT time.Duration
+
+	// Cached triple-product state for the in-place numeric refresh.
+	fine     *la.CSR // finer-level matrix the symbolics were derived from
+	p, pt    *la.CSR // prolongation and its transpose (values constant)
+	ap, raw  *la.CSR // A_fine·P and Pᵀ·(A_fine·P) in fixed sparsity
+	rebuilt  bool    // augmentation rebuilt the pattern (Builder path)
+	rawToAug []int   // raw entry k → position in a.Val (-1 = dropped zero)
+	augDiag  []int   // positions in a.Val of constrained-row unit diagonals
 }
 
 func newGalerkinOp(env Env) (Operator, error) {
@@ -228,11 +254,168 @@ func (o *galerkinOp) Setup() error {
 		return fmt.Errorf("op: Galerkin requires an assembled finer level")
 	}
 	start := time.Now()
-	a := la.RAP(fine, o.env.Prolong())
-	fixConstrainedDiag(a, o.env.Prob.BC.Mask)
-	o.a = a
+	o.build(fine)
 	o.setupT = time.Since(start)
 	return nil
+}
+
+// build runs the full symbolic+numeric construction from fine.
+func (o *galerkinOp) build(fine *la.CSR) {
+	o.fine = fine
+	o.p = o.env.Prolong()
+	o.pt = o.p.Transpose()
+	o.ap = la.MatMul(fine, o.p)
+	o.raw = la.MatMul(o.pt, o.ap)
+	o.augment()
+}
+
+// Refresh replays the triple product numerically into the cached
+// sparsity. The scatter order matches MatMul exactly (la.MatMulNumeric),
+// so the values are bit-for-bit what a from-scratch Setup would produce.
+func (o *galerkinOp) Refresh() error {
+	if o.a == nil {
+		return o.Setup()
+	}
+	fine := o.env.FineCSR()
+	if fine == nil {
+		return fmt.Errorf("op: Galerkin requires an assembled finer level")
+	}
+	start := time.Now()
+	if fine != o.fine {
+		// The finer level handed over a different matrix object (its own
+		// pattern changed); the cached symbolics no longer apply.
+		o.build(fine)
+		o.setupT = time.Since(start)
+		return nil
+	}
+	la.MatMulNumeric(fine, o.p, o.ap)
+	la.MatMulNumeric(o.pt, o.ap, o.raw)
+	if o.rebuilt && !o.zeroPatternUnchanged() {
+		// A structural zero changed state; a cold augmentation would
+		// produce a different pattern, so redo it (rare).
+		o.augment()
+	} else if o.rebuilt {
+		for k, pos := range o.rawToAug {
+			if pos >= 0 {
+				o.a.Val[pos] = o.raw.Val[k]
+			}
+		}
+		for _, pos := range o.augDiag {
+			o.a.Val[pos] = 1
+		}
+	} else {
+		copy(o.a.Val, o.raw.Val)
+		for _, pos := range o.augDiag {
+			o.a.Val[pos] = 1
+		}
+	}
+	o.setupT = time.Since(start)
+	return nil
+}
+
+// augment derives the served matrix from raw with the same semantics as
+// fixConstrainedDiag — unit diagonal on constrained rows, via the Builder
+// rebuild when a constrained diagonal is structurally missing — while
+// recording the raw→augmented value mapping for later refreshes.
+func (o *galerkinOp) augment() {
+	mask := o.env.Prob.BC.Mask
+	raw := o.raw
+	missing := false
+	for r := 0; r < raw.NRows && !missing; r++ {
+		if !mask[r] {
+			continue
+		}
+		found := false
+		for k := raw.RowPtr[r]; k < raw.RowPtr[r+1]; k++ {
+			if raw.ColInd[k] == r {
+				found = true
+				break
+			}
+		}
+		missing = !found
+	}
+	o.augDiag = o.augDiag[:0]
+	if !missing {
+		// In-place path: pattern unchanged, identity value mapping.
+		o.a = raw.Clone()
+		o.rebuilt = false
+		o.rawToAug = nil
+		for r := 0; r < raw.NRows; r++ {
+			if !mask[r] {
+				continue
+			}
+			for k := raw.RowPtr[r]; k < raw.RowPtr[r+1]; k++ {
+				if raw.ColInd[k] == r {
+					o.a.Val[k] = 1
+					o.augDiag = append(o.augDiag, k)
+					break
+				}
+			}
+		}
+		return
+	}
+	// Rebuild path: mirror fixConstrainedDiag's Builder semantics — only
+	// nonzero raw entries survive, constrained rows gain a unit diagonal.
+	b := la.NewBuilder(raw.NRows, raw.NCols)
+	for r := 0; r < raw.NRows; r++ {
+		for k := raw.RowPtr[r]; k < raw.RowPtr[r+1]; k++ {
+			b.Add(r, raw.ColInd[k], raw.Val[k])
+		}
+		if mask[r] {
+			b.Set(r, r, 1)
+		}
+	}
+	a := b.ToCSR()
+	o.a = a
+	o.rebuilt = true
+	// Per-row sorted merge gives each raw entry its slot in a (or -1 for
+	// entries the zero-skipping Add dropped), and each constrained row its
+	// diagonal position.
+	o.rawToAug = make([]int, raw.NNZ())
+	for r := 0; r < raw.NRows; r++ {
+		ka := a.RowPtr[r]
+		for k := raw.RowPtr[r]; k < raw.RowPtr[r+1]; k++ {
+			j := raw.ColInd[k]
+			for ka < a.RowPtr[r+1] && a.ColInd[ka] < j {
+				ka++
+			}
+			if ka < a.RowPtr[r+1] && a.ColInd[ka] == j {
+				o.rawToAug[k] = ka
+			} else {
+				o.rawToAug[k] = -1
+			}
+		}
+		if mask[r] {
+			for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+				if a.ColInd[k] == r {
+					o.augDiag = append(o.augDiag, k)
+					break
+				}
+			}
+		}
+	}
+}
+
+// zeroPatternUnchanged reports whether the refreshed raw values would
+// yield the same augmented pattern as the cached one: every dropped entry
+// is still exactly zero and every kept entry is still nonzero (the
+// constrained diagonals are kept regardless of value).
+func (o *galerkinOp) zeroPatternUnchanged() bool {
+	mask := o.env.Prob.BC.Mask
+	raw := o.raw
+	for r := 0; r < raw.NRows; r++ {
+		for k := raw.RowPtr[r]; k < raw.RowPtr[r+1]; k++ {
+			z := raw.Val[k] == 0
+			if o.rawToAug[k] < 0 {
+				if !z {
+					return false
+				}
+			} else if z && !(mask[r] && raw.ColInd[k] == r) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (o *galerkinOp) Apply(x, y la.Vec) {

@@ -94,6 +94,18 @@ func (o *residentOp) Apply(x, y la.Vec) {
 	o.r.Apply(x, y)
 }
 
+// Refresh recomputes the stored coefficient tensors from the problem's
+// current coefficients and coordinates (Resident.Setup re-runs in place).
+func (o *residentOp) Refresh() error {
+	if o.r == nil {
+		return o.Setup()
+	}
+	start := time.Now()
+	o.r.Setup()
+	o.setupT = time.Since(start)
+	return nil
+}
+
 func (o *residentOp) ApplyFreeRows(u, y la.Vec) { o.mf.ApplyFreeRows(u, y) }
 func (o *residentOp) Diag(d la.Vec)             { fem.Diagonal(o.p, d) }
 func (o *residentOp) Cost() Cost                { return residentCost(o.p, o.f32) }
@@ -151,6 +163,7 @@ type asm32Op struct {
 	p       *fem.Problem
 	workers int
 	mf      *fem.TensorOp
+	va      *fem.ViscousAssembly
 	a64     *la.CSR
 	a32     *la.CSR32
 	setupT  time.Duration
@@ -165,10 +178,27 @@ func (o *asm32Op) N() int { return o.p.DA.NVelDOF() }
 func (o *asm32Op) Setup() error {
 	if o.a32 == nil {
 		start := time.Now()
-		o.a64 = fem.AssembleViscous(o.p)
+		o.va = fem.NewViscousAssembly(o.p)
+		o.va.Refresh()
+		o.a64 = o.va.A
 		o.a32 = la.NewCSR32(o.a64)
 		o.setupT = time.Since(start)
 	}
+	return nil
+}
+
+// Refresh recomputes the float64 values in the cached sparsity and
+// re-rounds them into the aliased float32 value stream.
+func (o *asm32Op) Refresh() error {
+	if o.a32 == nil {
+		return o.Setup()
+	}
+	start := time.Now()
+	o.va.Refresh()
+	for i, v := range o.a64.Val {
+		o.a32.Val32[i] = float32(v)
+	}
+	o.setupT = time.Since(start)
 	return nil
 }
 

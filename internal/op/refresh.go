@@ -1,0 +1,23 @@
+package op
+
+// Refresher is implemented by operator representations that cache numeric
+// content derived from the problem's coefficients (assembled CSR values,
+// Galerkin triple products, resident coefficient tensors). Refresh
+// re-derives the values from the problem's *current* coefficients and
+// coordinates into the existing symbolic structure — bit-identical to
+// tearing the operator down and rebuilding it, at a fraction of the cost.
+// Purely matrix-free representations read the coefficients live and need
+// no refresh; they simply do not implement the interface.
+type Refresher interface {
+	Refresh() error
+}
+
+// Refresh re-derives o's numeric content if it caches any; live
+// (matrix-free) operators are a no-op. Accepts any so callers holding a
+// narrower operator interface (fem.Operator) can refresh through it.
+func Refresh(o any) error {
+	if r, ok := o.(Refresher); ok {
+		return r.Refresh()
+	}
+	return nil
+}

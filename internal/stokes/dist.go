@@ -286,26 +286,41 @@ func (s *Solver) SolveDistributedOpt(x, bu la.Vec, px, py, pz int, opt DistOptio
 }
 
 // distDecomps builds and validates the nested per-level decompositions
-// of the solver's geometric hierarchy for a px×py×pz world.
-func (s *Solver) distDecomps(px, py, pz int) ([]*comm.Decomp, error) {
+// of the solver's geometric hierarchy for a px×py×pz world, along with
+// the [level][rank] layouts. Both are purely topological, so they are
+// cached on the solver and reused across solves of the same world shape
+// (the per-step cost of a distributed solve then excludes partitioning).
+func (s *Solver) distDecomps(px, py, pz int) ([]*comm.Decomp, [][]*comm.Layout, error) {
 	if s.MG == nil {
-		return nil, fmt.Errorf("stokes: distributed solve requires a geometric multigrid configuration (Levels >= 2)")
+		return nil, nil, fmt.Errorf("stokes: distributed solve requires a geometric multigrid configuration (Levels >= 2)")
+	}
+	if c := &s.dcache; c.decomps != nil && c.px == px && c.py == py && c.pz == pz {
+		return c.decomps, c.layouts, nil
 	}
 	decomps := make([]*comm.Decomp, len(s.MG.Levels))
 	for l, lev := range s.MG.Levels {
 		if lev.Prob == nil {
-			return nil, fmt.Errorf("stokes: distributed solve requires geometric levels (level %d is algebraic)", l)
+			return nil, nil, fmt.Errorf("stokes: distributed solve requires geometric levels (level %d is algebraic)", l)
 		}
 		d, err := comm.NewDecomp(lev.Prob.DA, px, py, pz)
 		if err != nil {
-			return nil, fmt.Errorf("stokes: level %d: %w", l, err)
+			return nil, nil, fmt.Errorf("stokes: level %d: %w", l, err)
 		}
 		decomps[l] = d
 	}
 	if err := mg.ValidateNestedDecomps(decomps); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return decomps, nil
+	size := px * py * pz
+	layouts := make([][]*comm.Layout, len(decomps))
+	for l, d := range decomps {
+		layouts[l] = make([]*comm.Layout, size)
+		for rid := 0; rid < size; rid++ {
+			layouts[l][rid] = comm.NewLayout(d, rid)
+		}
+	}
+	s.dcache = distCache{px: px, py: py, pz: pz, decomps: decomps, layouts: layouts}
+	return decomps, layouts, nil
 }
 
 // rankCommCounters reads the communication counters of one rank's
@@ -363,7 +378,7 @@ func (s *RankStats) Add(o RankStats) {
 // per-level decompositions nest: px, py, pz must divide the per-level
 // element counts at every level.
 func (s *Solver) LinearSolveDistributed(method string, rhs, delta la.Vec, prmIn krylov.Params, px, py, pz int, opt DistOptions) (krylov.Result, []RankStats, error) {
-	decomps, err := s.distDecomps(px, py, pz)
+	decomps, layouts, err := s.distDecomps(px, py, pz)
 	if err != nil {
 		return krylov.Result{}, nil, err
 	}
@@ -408,7 +423,7 @@ func (s *Solver) LinearSolveDistributed(method string, rhs, delta la.Vec, prmIn 
 		sink := &errSink{}
 		dists := make([]*comm.Dist, nl)
 		for l := range decomps {
-			dists[l] = comm.NewDist(r, comm.NewLayout(decomps[l], r.ID), sc)
+			dists[l] = comm.NewDist(r, layouts[l][r.ID], sc)
 		}
 		dmg, err := mg.NewDistOpts(s.MG, dists, mg.DistOptions{Agg: agg})
 		if err != nil {

@@ -5,9 +5,11 @@ import (
 	"time"
 
 	"ptatin3d/internal/amg"
+	"ptatin3d/internal/comm"
 	"ptatin3d/internal/fem"
 	"ptatin3d/internal/krylov"
 	"ptatin3d/internal/la"
+	"ptatin3d/internal/mesh"
 	"ptatin3d/internal/mg"
 	"ptatin3d/internal/op"
 	"ptatin3d/internal/telemetry"
@@ -130,6 +132,26 @@ type Solver struct {
 	MatMult     *OpProbe
 	PCApply     *PCProbe
 	CoarseApply *PCProbe // wraps the coarse-grid solver inside MG
+
+	// amgVA backs the standalone-AMG configuration (Levels <= 1) when the
+	// fine operator has no assembled form of its own: the assembly is
+	// cached so Refresh recomputes values in place instead of
+	// re-deriving the sparsity.
+	amgVA *fem.ViscousAssembly
+	amgA  *la.CSR
+
+	// dcache holds the distributed decompositions and per-rank layouts of
+	// the last world shape — purely topological, so they survive
+	// coefficient refreshes and ALE coordinate updates.
+	dcache distCache
+}
+
+// distCache caches the per-level decompositions and [level][rank]
+// layouts of one world shape.
+type distCache struct {
+	px, py, pz int
+	decomps    []*comm.Decomp
+	layouts    [][]*comm.Layout
 }
 
 // Monitor records the per-iteration field residual norms of a GCR solve —
@@ -185,18 +207,16 @@ func New(prob *fem.Problem, cfg Config) (*Solver, error) {
 	// Viscous-block preconditioner.
 	var innerU krylov.Preconditioner
 	if cfg.Levels <= 1 {
-		a := viscousCSR(auu, prob)
-		opt := amg.GAMGLike()
-		switch cfg.AMGConfig {
-		case "ml":
-			opt = amg.MLLike()
-		case "mlstrong":
-			opt = amg.MLStrongLike()
+		if a := auu.CSR(); a != nil {
+			s.amgA = a
+		} else {
+			s.amgVA = fem.NewViscousAssembly(prob)
+			s.amgVA.Refresh()
+			s.amgA = s.amgVA.A
 		}
-		opt.SmoothSteps = max(1, cfg.SmoothSteps)
-		sa, err := amg.New(a, 3, amg.RigidBodyModes(prob.DA.Coords, prob.BC.Mask), opt)
+		sa, err := buildAMG(s.amgA, prob, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("stokes: AMG setup: %w", err)
+			return nil, err
 		}
 		s.SA = sa
 		innerU = sa
@@ -315,13 +335,94 @@ func buildCoarseSolver(gmg *mg.MG, coarseProb *fem.Problem, cfg Config) (krylov.
 	return nil, nil, fmt.Errorf("stokes: unknown coarse solver %q", cfg.CoarseSolver)
 }
 
-// viscousCSR obtains the assembled viscous block backing an operator, or
-// assembles one for representations that have none.
-func viscousCSR(auu op.Operator, prob *fem.Problem) *la.CSR {
-	if a := auu.CSR(); a != nil {
-		return a
+// buildAMG constructs the standalone algebraic preconditioner (Levels <=
+// 1 configurations) from the assembled viscous block.
+func buildAMG(a *la.CSR, prob *fem.Problem, cfg Config) (*amg.SA, error) {
+	opt := amg.GAMGLike()
+	switch cfg.AMGConfig {
+	case "ml":
+		opt = amg.MLLike()
+	case "mlstrong":
+		opt = amg.MLStrongLike()
 	}
-	return fem.AssembleViscous(prob)
+	opt.SmoothSteps = max(1, cfg.SmoothSteps)
+	sa, err := amg.New(a, 3, amg.RigidBodyModes(prob.DA.Coords, prob.BC.Mask), opt)
+	if err != nil {
+		return nil, fmt.Errorf("stokes: AMG setup: %w", err)
+	}
+	return sa, nil
+}
+
+// Refresh re-derives the solver's numeric state from the problem's
+// current coefficients — and, when geomChanged, coordinates — without
+// rebuilding any topology: coarse-level coefficients are re-restricted
+// through the configured coarsener, assembled/Galerkin/resident operator
+// values are recomputed in place into their cached sparsity, smoother
+// spectra are re-estimated exactly as a cold build would, and the
+// value-dependent algebraic components (GAMG/ASM/LU coarse solvers) are
+// rebuilt from the refreshed coarse matrices. The result is bit-identical
+// to constructing a new Solver on the same state; only the setup cost
+// changes. geomChanged must be true whenever the fine mesh coordinates
+// moved since the last Setup/Refresh (ALE remeshing).
+func (s *Solver) Refresh(geomChanged bool) error {
+	start := time.Now()
+	if geomChanged {
+		if s.MG != nil {
+			for l := 1; l < len(s.MG.Levels); l++ {
+				fp, cp := s.MG.Levels[l-1].Prob, s.MG.Levels[l].Prob
+				mesh.RefreshCoarsenCoords(fp.DA, cp.DA)
+				mesh.RefreshCoarsenBCVals(fp.DA, cp.DA, fp.BC, cp.BC)
+			}
+		}
+		// The coupling blocks depend only on geometry.
+		s.C.Setup()
+	}
+	// Re-restrict the coarse coefficients in CoarsenProblems level order.
+	if s.MG != nil && s.Cfg.CoeffCoarsen != nil {
+		for l := 1; l < len(s.MG.Levels); l++ {
+			s.Cfg.CoeffCoarsen(l, s.MG.Levels[l].Prob)
+		}
+	}
+	// The pressure mass matrix is viscosity-scaled: always re-derive.
+	s.Mp.Setup()
+	if s.MG != nil {
+		if any(s.MG.Levels[0].Op) != any(s.Op.Auu) {
+			// Blocked/F32 hierarchies own their fine operator; the shared
+			// coupled-matvec operator refreshes separately.
+			if err := op.Refresh(s.Op.Auu); err != nil {
+				return fmt.Errorf("stokes: fine operator refresh: %w", err)
+			}
+		}
+		if err := s.MG.Refresh(); err != nil {
+			return fmt.Errorf("stokes: %w", err)
+		}
+		coarse, sa, err := buildCoarseSolver(s.MG, s.MG.Levels[len(s.MG.Levels)-1].Prob, s.Cfg)
+		if err != nil {
+			return err
+		}
+		s.SA = sa
+		s.CoarseApply = NewPCProbe(coarse, s.Tel.Child("outer").Timer("coarse"))
+		s.MG.CoarseSolve = s.CoarseApply
+	} else {
+		if err := op.Refresh(s.Op.Auu); err != nil {
+			return fmt.Errorf("stokes: fine operator refresh: %w", err)
+		}
+		if s.amgVA != nil {
+			s.amgVA.Refresh()
+		}
+		sa, err := buildAMG(s.amgA, s.Prob, s.Cfg)
+		if err != nil {
+			return err
+		}
+		s.SA = sa
+		s.FS.InnerU = sa
+	}
+	if s.SA != nil {
+		s.SA.SetTelemetry(s.Tel.Child("amg"))
+	}
+	s.SetupTime = time.Since(start)
+	s.Tel.Child("outer").Gauge("setup_seconds").Set(s.SetupTime.Seconds())
+	return nil
 }
 
 // Solve performs one linear Stokes solve in residual-correction form: the

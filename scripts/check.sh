@@ -48,6 +48,11 @@ go test -race \
     -run 'TestF32OpEquivalence|TestAutoCacheKeyedByPrecision|TestResidentMatchesTensor|TestResidentDeterminism|TestBlockedChebyshevBitIdentical|TestMGBlockedVCycleBitIdentical|TestMGF32Converges|TestDistMGBlockedMatchesSerial|TestBlockedSolveMatchesUnblocked|TestF32PreconditionedConvergence' \
     ./internal/op ./internal/fem ./internal/mg ./internal/stokes
 
+echo "== parallel MPM + amortized solver setup under -race =="
+go test -race \
+    -run 'TestProjectorMatchesSerialAnyWorkers|TestProjectorInvalidate|TestLocateAllParallelMatchesSerial|TestBucketedNearestMatchesScan|TestCachedSetupMatchesColdBuild|TestKrylovWarmStart' \
+    ./internal/mpm ./internal/model
+
 echo "== blocked smoother bench smoke (fails on >10% blocked-vs-unblocked regression) =="
 go run ./cmd/ptatin-opcost -vcycle -m 12 -levels 2 -reps 3 -vcycle-parity=false -vcycle-gate 1.1 > /dev/null
 
